@@ -1,0 +1,119 @@
+// Command odrl-bench regenerates the paper's evaluation: every table and
+// figure listed in DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	odrl-bench                 # run everything at full fidelity
+//	odrl-bench -experiment F2  # one experiment
+//	odrl-bench -quick          # small/short runs for smoke checks
+//
+// Output is aligned text tables on stdout, one block per experiment, in the
+// format EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
+		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		cores      = flag.Int("cores", 0, "override platform core count")
+		budget     = flag.Float64("budget", 0, "override chip budget (W)")
+		seed       = flag.Uint64("seed", 0, "override random seed")
+		outDir     = flag.String("o", "", "also write one CSV per experiment into this directory")
+		reportFile = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.Default()
+	cfg.Quick = *quick
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	if *budget > 0 {
+		cfg.BudgetW = *budget
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+
+	if *reportFile != "" {
+		f, err := os.Create(*reportFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		ropts := experiments.ReportOptions{Config: cfg}
+		if *experiment != "all" {
+			ropts.IDs = []string{*experiment}
+		}
+		ropts.Elapsed = func(id string, d time.Duration) {
+			fmt.Printf("(%s finished in %.1fs)\n", id, d.Seconds())
+		}
+		werr := experiments.WriteReport(f, ropts)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: report: %v %v\n", werr, cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *reportFile)
+		return
+	}
+
+	run := func(id string, runner experiments.Runner) {
+		start := time.Now()
+		tbl, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if _, err := tbl.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, strings.ToLower(id)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			werr := tbl.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				fmt.Fprintf(os.Stderr, "odrl-bench: %s: write %s failed\n", id, path)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	if *experiment == "all" {
+		for _, e := range experiments.All() {
+			run(e.ID, e.Run)
+		}
+		return
+	}
+	runner, err := experiments.ByID(*experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(1)
+	}
+	run(*experiment, runner)
+}

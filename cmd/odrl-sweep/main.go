@@ -1,0 +1,83 @@
+// Command odrl-sweep runs one controller across a parameter sweep (budget,
+// core count, epoch length or seed) and prints one CSV row per point —
+// the raw material for sensitivity plots beyond the canned experiments.
+//
+// Usage:
+//
+//	odrl-sweep -controller od-rl -param budget -values 40,55,70,90
+//	odrl-sweep -controller maxbips -param cores -values 16,64,256
+//	odrl-sweep -controller od-rl -param seed -values 1,2,3,4,5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		controller = flag.String("controller", "od-rl", "controller name")
+		param      = flag.String("param", "budget", "swept parameter: budget | cores | epoch | seed")
+		values     = flag.String("values", "40,55,70,90", "comma-separated sweep values")
+		cores      = flag.Int("cores", 64, "core count (fixed unless swept)")
+		budget     = flag.Float64("budget", 55, "budget in W (fixed unless swept)")
+		workloadF  = flag.String("workload", "mix", "workload preset or 'mix'")
+		warmup     = flag.Float64("warmup", 2, "warmup seconds")
+		measure    = flag.Float64("measure", 4, "measurement seconds")
+		seed       = flag.Uint64("seed", 1, "seed (fixed unless swept)")
+	)
+	flag.Parse()
+
+	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s")
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", raw, err)
+			os.Exit(1)
+		}
+
+		opts := sim.DefaultOptions()
+		opts.Cores = *cores
+		opts.Workload = *workloadF
+		opts.BudgetW = *budget
+		opts.WarmupS = *warmup
+		opts.MeasureS = *measure
+		opts.Seed = *seed
+		switch *param {
+		case "budget":
+			opts.BudgetW = v
+		case "cores":
+			opts.Cores = int(v)
+		case "epoch":
+			opts.EpochS = v
+		case "seed":
+			opts.Seed = uint64(v)
+		default:
+			fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
+			os.Exit(1)
+		}
+
+		env := sim.DefaultEnv(opts.Cores)
+		env.Seed = opts.Seed
+		c, err := sim.NewController(*controller, env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+			os.Exit(1)
+		}
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+			os.Exit(1)
+		}
+		s := res.Summary
+		fmt.Printf("%s,%s,%s,%g,%g,%g,%g,%g,%g,%g\n",
+			*param, raw, s.Controller, s.BIPS(), s.MeanW, s.PeakW,
+			s.OverJ, s.OverTimeFrac(), s.EnergyEff(), s.CtrlTimeS)
+	}
+}

@@ -1,0 +1,97 @@
+// Command odrl-trace records and inspects workload phase traces, so the
+// same workload realisation can be replayed across controller comparisons
+// or shared between machines.
+//
+// Usage:
+//
+//	odrl-trace -record -benchmark canneal -dur 5 -o canneal.trace.json
+//	odrl-trace -inspect canneal.trace.json
+//	odrl-trace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "record a new trace")
+		inspect   = flag.String("inspect", "", "inspect an existing trace file")
+		list      = flag.Bool("list", false, "list available benchmark presets")
+		benchmark = flag.String("benchmark", "canneal", "benchmark preset to record")
+		dur       = flag.Float64("dur", 5, "trace duration in seconds")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "odrl-trace:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *list:
+		mid := 2.5e9
+		fmt.Println("benchmark      CPI@2.5GHz  mem-bound  phase-changes/s")
+		for _, name := range workload.PresetNames() {
+			c, err := workload.Characterize(workload.MustPreset(name), *seed, 2.0, mid)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-14s %-11.3f %-10.3f %.1f\n", name, c.MeanCPI, c.MemBoundedness, c.PhaseRatePerS)
+		}
+
+	case *record:
+		spec, err := workload.Preset(*benchmark)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := workload.Record(spec, *seed, *dur)
+		if err != nil {
+			fail(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.WriteJSON(w); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d entries over %.2f s\n", len(tr.Entries), tr.TotalDurS())
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadJSON(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace %q: %d phases, %d entries, %.2f s total\n",
+			tr.Name, len(tr.Phases), len(tr.Entries), tr.TotalDurS())
+		residency := make([]float64, len(tr.Phases))
+		for _, e := range tr.Entries {
+			residency[e.PhaseIdx] += e.DurS
+		}
+		for i, ph := range tr.Phases {
+			fmt.Printf("  phase %d (%s): CPI %.2f, MPKI %.1f, activity %.2f — %.1f%% of time\n",
+				i, ph.Class, ph.BaseCPI, ph.MPKI, ph.Activity, 100*residency[i]/tr.TotalDurS())
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

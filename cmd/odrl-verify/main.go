@@ -1,0 +1,48 @@
+// Command odrl-verify re-measures the paper's four abstract claims and
+// prints a PASS/FAIL verdict for each. It exits non-zero if any claim's
+// shape fails to reproduce, making it suitable as a CI reproduction gate.
+//
+//	odrl-verify          # full fidelity, ~1 minute
+//	odrl-verify -quick   # small/short smoke pass with relaxed thresholds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small/short runs with relaxed thresholds")
+	seed := flag.Uint64("seed", 0, "override random seed")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Quick = *quick
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+
+	results, err := experiments.VerifyClaims(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
+		os.Exit(1)
+	}
+
+	failed := 0
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %s — %s\n      measured: %s\n", verdict, r.ID, r.Claim, r.Measured)
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d claims failed to reproduce\n", failed, len(results))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d claims reproduced\n", len(results))
+}

@@ -1,0 +1,147 @@
+// Command odrl runs one power-capped many-core simulation and prints the
+// measured summary for one or more controllers.
+//
+// Usage:
+//
+//	odrl -controllers od-rl,maxbips,pid -cores 64 -budget 90 -measure 8
+//
+// Pass -controllers all for every registered controller. Add -csv to emit
+// machine-readable output and -trace FILE to dump the power trace of the
+// first controller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/plot"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		controllers = flag.String("controllers", "od-rl,maxbips,steepest-drop,pid,greedy,static", "comma-separated controller names, or 'all'")
+		cores       = flag.Int("cores", 64, "number of cores")
+		workloadF   = flag.String("workload", "mix", "workload preset name or 'mix'")
+		budget      = flag.Float64("budget", 90, "chip power budget (W)")
+		warmup      = flag.Float64("warmup", 2, "warmup seconds (learning continues, metrics off)")
+		measure     = flag.Float64("measure", 8, "measurement seconds")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		noise       = flag.Float64("noise", 0.02, "relative sensor noise")
+		thermalOff  = flag.Bool("thermal-off", false, "disable the leakage-temperature loop")
+		csvOut      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		traceFile   = flag.String("trace", "", "write the first controller's power trace CSV to this file")
+		configFile  = flag.String("config", "", "run a config.Experiment JSON file instead of flags")
+		writeConfig = flag.Bool("write-config", false, "print the default experiment JSON and exit")
+		plotTrace   = flag.Bool("plot", false, "render each controller's power trace as an ASCII chart")
+	)
+	flag.Parse()
+
+	if *writeConfig {
+		if err := config.DefaultExperiment().Save(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		exp, err := config.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		results, err := sim.RunExperiment(exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		if err := sim.WriteSummaryTable(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := sim.DefaultOptions()
+	opts.Cores = *cores
+	opts.Workload = *workloadF
+	opts.BudgetW = *budget
+	opts.WarmupS = *warmup
+	opts.MeasureS = *measure
+	opts.Seed = *seed
+	opts.SensorNoise = *noise
+	opts.ThermalOff = *thermalOff
+	if *traceFile != "" || *plotTrace {
+		opts.TracePoints = 500
+	}
+
+	names := strings.Split(*controllers, ",")
+	if *controllers == "all" {
+		names = sim.ControllerNames()
+	}
+
+	results, err := sim.RunAll(opts, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl:", err)
+		os.Exit(1)
+	}
+
+	if *csvOut {
+		err = sim.WriteCSV(os.Stdout, results)
+	} else {
+		err = sim.WriteSummaryTable(os.Stdout, results)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl:", err)
+		os.Exit(1)
+	}
+
+	if *plotTrace {
+		for _, res := range results {
+			if len(res.Trace) == 0 {
+				continue
+			}
+			xs := make([]float64, len(res.Trace))
+			ys := make([]float64, len(res.Trace))
+			bs := make([]float64, len(res.Trace))
+			for i, p := range res.Trace {
+				xs[i] = p.TimeS
+				ys[i] = p.PowerW
+				bs[i] = p.BudgetW
+			}
+			fmt.Println()
+			err := plot.Render(os.Stdout,
+				fmt.Sprintf("%s: chip power (W) vs time (s)", res.Summary.Controller),
+				72, 14,
+				plot.Series{Label: "power", X: xs, Y: ys},
+				plot.Series{Label: "budget", X: xs, Y: bs},
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "odrl:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *traceFile != "" && len(results) > 0 {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sim.WriteTrace(f, results[0].Summary.Controller, results[0].Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+	}
+}

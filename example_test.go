@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// Compare two controllers on a small capped chip.
+func ExampleRunAll() {
+	opts := repro.DefaultOptions()
+	opts.Cores = 4
+	opts.BudgetW = 12
+	opts.WarmupS = 0.02
+	opts.MeasureS = 0.05
+
+	results, err := repro.RunAll(opts, []string{"pid", "static"})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Summary.Controller)
+	}
+	// Output:
+	// pid
+	// static
+}
+
+// Build a custom-tuned OD-RL controller through the config surface.
+func ExampleNewODRL() {
+	cfg := repro.DefaultODRLConfig()
+	cfg.Lambda = 8 // compliance-first
+	c, err := repro.NewODRL(16, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Name())
+	// Output: od-rl
+}
+
+// The island-aware variant controls one agent per voltage-frequency
+// island; pair it with matching Options.IslandW/IslandH.
+func ExampleNewIslandODRL() {
+	c, err := repro.NewIslandODRL(4, 4, 2, 2, repro.DefaultODRLConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Name())
+	// Output: od-rl-island
+}
+
+// Inspect the benchmark suite the evaluation runs on.
+func ExampleWorkloadNames() {
+	names := repro.WorkloadNames()
+	fmt.Println(len(names), names[0])
+	// Output: 10 blackscholes
+}
+
+// Schedule a mid-run cap drop (datacentre brownout response).
+func ExampleOptions_budgetSchedule() {
+	opts := repro.DefaultOptions()
+	opts.Cores = 4
+	opts.BudgetW = 15
+	opts.BudgetSchedule = []repro.BudgetStep{{AtS: 0.03, BudgetW: 8}}
+	opts.WarmupS = 0.01
+	opts.MeasureS = 0.05
+
+	c, err := repro.NewController("greedy", repro.DefaultEnv(opts.Cores))
+	if err != nil {
+		panic(err)
+	}
+	res, err := repro.Run(opts, c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Summary.Controller, res.Summary.DurS > 0)
+	// Output: greedy true
+}

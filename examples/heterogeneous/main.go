@@ -1,0 +1,63 @@
+// Heterogeneous: run OD-RL on each benchmark class separately at a tight
+// cap and show how the learned policy adapts — memory-bound workloads end
+// up cheap and fast-enough at low VF levels, compute-bound ones spend the
+// budget where frequency actually buys throughput. Also demonstrates a
+// custom-tuned OD-RL (higher λ) via the public config surface.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	benchmarks := []string{"swaptions", "canneal", "dedup", "x264"}
+	fmt.Println("OD-RL per benchmark, 32 cores capped at 30 W:")
+	fmt.Printf("%-12s %8s %9s %9s %10s\n", "benchmark", "BIPS", "mean(W)", "over(J)", "BIPS/W")
+
+	for _, bench := range benchmarks {
+		opts := repro.DefaultOptions()
+		opts.Cores = 32
+		opts.Workload = bench
+		opts.BudgetW = 30
+		opts.WarmupS = 2
+		opts.MeasureS = 3
+
+		c, err := repro.NewController("od-rl", repro.DefaultEnv(opts.Cores))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.Run(opts, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-12s %8.2f %9.1f %9.3f %10.3f\n",
+			bench, s.BIPS(), s.MeanW, s.OverJ, s.EnergyEff())
+	}
+
+	// A compliance-first variant: crank the overshoot penalty.
+	fmt.Println("\ncustom OD-RL (λ=12, compliance-first) on the mix workload:")
+	cfg := repro.DefaultODRLConfig()
+	cfg.Lambda = 12
+	strict, err := repro.NewODRL(32, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := repro.DefaultOptions()
+	opts.Cores = 32
+	opts.BudgetW = 30
+	opts.WarmupS = 2
+	opts.MeasureS = 3
+	res, err := repro.Run(opts, strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Printf("%-12s %8.2f %9.1f %9.3f %10.3f\n",
+		"mix(λ=12)", s.BIPS(), s.MeanW, s.OverJ, s.EnergyEff())
+}

@@ -1,0 +1,51 @@
+// Powercap: a 64-core server chip runs under a 90 W cap; at t=4 s the
+// datacentre power manager drops the cap to 55 W (e.g. a rack-level brownout
+// response). The example shows how each controller rides through the event
+// and prints the power trace around the step.
+//
+//	go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	repro "repro"
+)
+
+func main() {
+	const dropAtS = 4.0
+
+	opts := repro.DefaultOptions()
+	opts.Cores = 64
+	opts.BudgetW = 90
+	opts.BudgetSchedule = []repro.BudgetStep{{AtS: dropAtS, BudgetW: 55}}
+	opts.WarmupS = 2
+	opts.MeasureS = 5
+	opts.TracePoints = 400
+
+	fmt.Printf("64 cores, cap 90 W dropping to 55 W at t=%.0fs:\n\n", dropAtS)
+	results, err := repro.RunAll(opts, []string{"od-rl", "pid", "greedy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.WriteSummaryTable(os.Stdout, results); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show each controller's behaviour right around the cap event.
+	fmt.Println("\npower right after the cap event (first 30 ms):")
+	for _, res := range results {
+		fmt.Printf("  %-8s:", res.Summary.Controller)
+		shown := 0
+		for _, p := range res.Trace {
+			if p.TimeS >= dropAtS && shown < 6 {
+				fmt.Printf(" %.1fW", p.PowerW)
+				shown++
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(a trace CSV for plotting: repro.WriteTrace(os.Stdout, name, res.Trace))")
+}

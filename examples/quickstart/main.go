@@ -1,0 +1,36 @@
+// Quickstart: cap a 16-core chip at 30 W and compare OD-RL against a
+// RAPL-style PID capper on a mixed workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	repro "repro"
+)
+
+func main() {
+	opts := repro.DefaultOptions()
+	opts.Cores = 16
+	opts.BudgetW = 30
+	opts.WarmupS = 2
+	opts.MeasureS = 3
+
+	results, err := repro.RunAll(opts, []string{"od-rl", "pid"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("16-core chip capped at %.0f W, mixed PARSEC-like workload:\n\n", opts.BudgetW)
+	if err := repro.WriteSummaryTable(os.Stdout, results); err != nil {
+		log.Fatal(err)
+	}
+
+	odrl, pid := results[0].Summary, results[1].Summary
+	fmt.Printf("\nOD-RL spent %.3f J over budget; PID spent %.3f J.\n", odrl.OverJ, pid.OverJ)
+	fmt.Printf("OD-RL energy efficiency: %.2f BIPS/W vs PID %.2f BIPS/W.\n",
+		odrl.EnergyEff(), pid.EnergyEff())
+}

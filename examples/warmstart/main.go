@@ -1,0 +1,110 @@
+// Warmstart: train an OD-RL policy, persist it to a file, and boot a fresh
+// controller from the saved policy — the deployment path for on-line RL
+// control surviving restarts. Prints the first-second behaviour of a cold
+// start next to the warm start.
+//
+//	go run ./examples/warmstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/vf"
+)
+
+func main() {
+	const cores = 32
+	const budget = 30.0
+
+	newController := func() *core.Controller {
+		cfg := core.DefaultConfig()
+		c, err := core.New(cores, vf.Default(), power.Default(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// measureFirstSecond runs a fresh chip under the controller and
+	// reports the first second's throughput and overshoot.
+	measureFirstSecond := func(c *core.Controller) (bips, overJ float64) {
+		opts := sim.DefaultOptions()
+		opts.Cores = cores
+		opts.BudgetW = budget
+		chip, _, err := sim.NewChip(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make([]int, cores)
+		startInstr := chip.Instructions()
+		for e := 0; e < 1000; e++ {
+			tel := chip.Step(1e-3)
+			c.Decide(&tel, budget, out)
+			for i, l := range out {
+				chip.SetLevel(i, l)
+			}
+			if tel.TruePowerW > budget {
+				overJ += (tel.TruePowerW - budget) * 1e-3
+			}
+		}
+		return (chip.Instructions() - startInstr) / 1e9, overJ
+	}
+
+	// 1. Train a controller for five simulated seconds.
+	trained := newController()
+	fmt.Println("training OD-RL for 5 simulated seconds...")
+	{
+		opts := sim.DefaultOptions()
+		opts.Cores = cores
+		opts.BudgetW = budget
+		chip, _, err := sim.NewChip(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make([]int, cores)
+		for e := 0; e < 5000; e++ {
+			tel := chip.Step(1e-3)
+			trained.Decide(&tel, budget, out)
+			for i, l := range out {
+				chip.SetLevel(i, l)
+			}
+		}
+	}
+
+	// 2. Persist the learned policy.
+	path := filepath.Join(os.TempDir(), "odrl-policy.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trained.SavePolicy(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("saved policy to %s (%d bytes)\n\n", path, info.Size())
+
+	// 3. Compare a cold start against a warm start on identical chips.
+	coldBIPS, coldOver := measureFirstSecond(newController())
+
+	warm := newController()
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := warm.LoadPolicy(rf); err != nil {
+		log.Fatal(err)
+	}
+	rf.Close()
+	warmBIPS, warmOver := measureFirstSecond(warm)
+
+	fmt.Println("first second after boot (32 cores, 30 W cap):")
+	fmt.Printf("  cold start: %6.2f BIPS, %.4f J over budget\n", coldBIPS, coldOver)
+	fmt.Printf("  warm start: %6.2f BIPS, %.4f J over budget\n", warmBIPS, warmOver)
+}

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+// Greedy is a reactive distributed heuristic: each core compares its own
+// power against an equal share of the budget every epoch and steps one VF
+// level toward its share — down when over, up when comfortably under and
+// the workload looks frequency-responsive. It is as cheap and local as the
+// OD-RL fine layer but has no learning and no budget reallocation, making
+// it the natural "distributed but dumb" comparison point.
+type Greedy struct {
+	table *vf.Table
+	pwr   power.Params
+	// upHeadroom is how far below its share a core must be to promote.
+	upHeadroom float64
+	// memCutoff blocks promotion of heavily memory-bound cores.
+	memCutoff float64
+}
+
+// NewGreedy builds the heuristic.
+func NewGreedy(table *vf.Table, pwr power.Params) (*Greedy, error) {
+	if table == nil {
+		return nil, fmt.Errorf("baselines: nil VF table")
+	}
+	if err := pwr.Validate(); err != nil {
+		return nil, err
+	}
+	return &Greedy{table: table, pwr: pwr, upHeadroom: 0.2, memCutoff: 0.6}, nil
+}
+
+// Name implements ctrl.Controller.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Decide implements ctrl.Controller.
+func (g *Greedy) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	n := len(tel.Cores)
+	share := (budgetW - g.pwr.UncoreW) / float64(n)
+	if share <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		ct := &tel.Cores[i]
+		switch {
+		case ct.PowerW > share:
+			out[i] = g.table.Clamp(ct.Level - 1)
+		case ct.PowerW < (1-g.upHeadroom)*share && ct.MemBoundedness < g.memCutoff:
+			out[i] = g.table.Clamp(ct.Level + 1)
+		default:
+			out[i] = ct.Level
+		}
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: decisions are local; the only
+// traffic is the broadcast of the budget share on cap changes, negligible
+// in steady state. We charge one neighbour exchange to model the power
+// sensor fabric.
+func (g *Greedy) CommPerEpoch(mesh *noc.Mesh) noc.Cost {
+	return mesh.NeighborExchangeCost()
+}

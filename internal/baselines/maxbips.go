@@ -1,0 +1,174 @@
+// Package baselines implements the state-of-the-art power managers the
+// paper compares OD-RL against: a MaxBIPS-class global optimiser, a
+// steepest-drop greedy heuristic, a chip-level PID power capper (RAPL
+// style), a static worst-case design point, and a simple reactive
+// headroom heuristic.
+//
+// The prediction-based controllers (MaxBIPS, SteepestDrop) are faithful to
+// their published formulations: they build per-core power/performance
+// estimates from the last epoch's telemetry and solve a budget-constrained
+// assignment. Their weakness is structural, not an implementation
+// handicap — the telemetry describes the phase that just ended, so abrupt
+// phase changes invalidate the predictions and the chip overshoots until
+// the next decision, which at realistic decision costs arrives only every
+// K epochs.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctrl"
+	"repro/internal/manycore"
+	"repro/internal/noc"
+)
+
+// MaxBIPS maximises predicted aggregate instruction throughput subject to
+// the chip power budget by solving a multiple-choice knapsack over
+// (core, VF level) pairs with dynamic programming over discretised power.
+// This reproduces the global optimisation style of Isci et al. (MICRO'06).
+type MaxBIPS struct {
+	pred ctrl.Predictor
+	// CadenceEpochs is how many control epochs one decision is held for;
+	// it models the decision latency of centralised optimisation.
+	cadence int
+	// resW is the DP power resolution in watts. Costs are rounded up, so
+	// the solution never exceeds the budget under its own predictions.
+	resW float64
+
+	epoch int
+	last  []int
+
+	// scratch reused across decisions
+	dp     []float64
+	choice []int16
+}
+
+// NewMaxBIPS builds the controller. cadence must be >= 1; resW > 0.
+func NewMaxBIPS(pred ctrl.Predictor, cadence int, resW float64) (*MaxBIPS, error) {
+	if cadence < 1 {
+		return nil, fmt.Errorf("baselines: cadence must be >= 1, got %d", cadence)
+	}
+	if resW <= 0 {
+		return nil, fmt.Errorf("baselines: resolution must be positive, got %g", resW)
+	}
+	return &MaxBIPS{pred: pred, cadence: cadence, resW: resW}, nil
+}
+
+// Name implements ctrl.Controller.
+func (m *MaxBIPS) Name() string { return "maxbips" }
+
+// Decide implements ctrl.Controller.
+func (m *MaxBIPS) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	defer func() { m.epoch++ }()
+	if m.last != nil && m.epoch%m.cadence != 0 {
+		copy(out, m.last)
+		return
+	}
+	m.solve(tel, budgetW, out)
+	if m.last == nil {
+		m.last = make([]int, len(out))
+	}
+	copy(m.last, out)
+}
+
+// solve runs the knapsack DP and writes the optimal assignment into out.
+func (m *MaxBIPS) solve(tel *manycore.Telemetry, budgetW float64, out []int) {
+	n := len(tel.Cores)
+	levels := m.pred.VF.Levels()
+	coreBudget := budgetW - m.pred.Power.UncoreW
+	if coreBudget <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	buckets := int(coreBudget / m.resW)
+
+	// Per-(core, level) predicted cost in buckets and value in IPS.
+	costs := make([]int, n*levels)
+	values := make([]float64, n*levels)
+	for i := 0; i < n; i++ {
+		for l := 0; l < levels; l++ {
+			p := m.pred.PowerAt(tel.Cores[i], l)
+			costs[i*levels+l] = int(math.Ceil(p / m.resW))
+			values[i*levels+l] = m.pred.IPSAt(tel.Cores[i], l)
+		}
+	}
+
+	const neg = math.MaxFloat64
+	if len(m.dp) < 2*(buckets+1) {
+		m.dp = make([]float64, 2*(buckets+1))
+	}
+	if len(m.choice) < n*(buckets+1) {
+		m.choice = make([]int16, n*(buckets+1))
+	}
+	cur := m.dp[:buckets+1]
+	next := m.dp[buckets+1 : 2*(buckets+1)]
+	for b := range cur {
+		cur[b] = -neg
+	}
+	cur[0] = 0
+
+	feasible := true
+	for i := 0; i < n && feasible; i++ {
+		rowChoice := m.choice[i*(buckets+1) : (i+1)*(buckets+1)]
+		for b := range next {
+			next[b] = -neg
+			rowChoice[b] = -1
+		}
+		any := false
+		for b := 0; b <= buckets; b++ {
+			if cur[b] == -neg {
+				continue
+			}
+			for l := 0; l < levels; l++ {
+				nb := b + costs[i*levels+l]
+				if nb > buckets {
+					continue
+				}
+				if v := cur[b] + values[i*levels+l]; v > next[nb] {
+					next[nb] = v
+					rowChoice[nb] = int16(l)
+					any = true
+				}
+			}
+		}
+		if !any {
+			feasible = false
+		}
+		cur, next = next, cur
+	}
+
+	if !feasible {
+		// Even all-minimum exceeds the budget: the best a VF controller
+		// can do is pin everything to the bottom level.
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+
+	// Best final bucket, then backtrack the choices.
+	bestB, bestV := -1, -neg
+	for b := 0; b <= buckets; b++ {
+		if cur[b] > bestV {
+			bestB, bestV = b, cur[b]
+		}
+	}
+	b := bestB
+	for i := n - 1; i >= 0; i-- {
+		l := int(m.choice[i*(buckets+1)+b])
+		out[i] = l
+		b -= costs[i*m.pred.VF.Levels()+l]
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: a full telemetry gather and
+// command scatter per decision, amortised over the cadence.
+func (m *MaxBIPS) CommPerEpoch(mesh *noc.Mesh) noc.Cost {
+	g := mesh.GatherCost(mesh.Center())
+	s := mesh.ScatterCost(mesh.Center())
+	k := float64(m.cadence)
+	return noc.Cost{LatencyS: (g.LatencyS + s.LatencyS) / k, EnergyJ: (g.EnergyJ + s.EnergyJ) / k}
+}

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/vf"
+)
+
+// PID is a chip-level proportional–integral–derivative power capper in the
+// style of commercial RAPL-like firmware loops: it observes total chip
+// power every epoch and drives a single uniform VF level for all cores.
+// It is cheap and reacts quickly, but cannot exploit per-core workload
+// differences — memory-bound cores waste budget that compute-bound cores
+// could convert into throughput.
+type PID struct {
+	table      *vf.Table
+	kp, ki, kd float64
+
+	u        float64 // continuous control variable in level units
+	prevErr  float64
+	prevErr2 float64
+	started  bool
+}
+
+// NewPID builds the capper with the given gains (in VF-level units per
+// relative power error).
+func NewPID(table *vf.Table, kp, ki, kd float64) (*PID, error) {
+	if table == nil {
+		return nil, fmt.Errorf("baselines: nil VF table")
+	}
+	if kp < 0 || ki < 0 || kd < 0 {
+		return nil, fmt.Errorf("baselines: PID gains must be non-negative (%g, %g, %g)", kp, ki, kd)
+	}
+	return &PID{table: table, kp: kp, ki: ki, kd: kd}, nil
+}
+
+// DefaultPID returns gains tuned for 1 ms epochs on the default platform.
+// The plant gain is roughly 2.5 W of chip power per level step per core
+// budget share, so integral gains well below 1 keep the loop from limit
+// cycling across the whole level range.
+func DefaultPID(table *vf.Table) *PID {
+	p, err := NewPID(table, 0.5, 0.15, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements ctrl.Controller.
+func (p *PID) Name() string { return "pid" }
+
+// Decide implements ctrl.Controller.
+func (p *PID) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	err := 0.0
+	if budgetW > 0 {
+		err = (budgetW - tel.ChipPowerW) / budgetW
+	}
+	// Clamp the relative error so a transient power spike cannot slam the
+	// loop across the whole level range in one epoch.
+	if err > 1 {
+		err = 1
+	} else if err < -1 {
+		err = -1
+	}
+	if !p.started {
+		p.prevErr = err
+		p.prevErr2 = err
+		p.u = float64(p.table.Levels()-1) / 2
+		p.started = true
+	}
+	// Velocity-form PID: Δu = kp·Δe + ki·e + kd·(e − 2e₁ + e₂); the
+	// integral state lives in u itself, and clamping u below provides
+	// anti-windup.
+	span := float64(p.table.Levels() - 1)
+	p.u += p.kp*(err-p.prevErr) + p.ki*err + p.kd*(err-2*p.prevErr+p.prevErr2)
+	p.prevErr2 = p.prevErr
+	p.prevErr = err
+	if p.u < 0 {
+		p.u = 0
+	} else if p.u > span {
+		p.u = span
+	}
+	level := p.table.Clamp(int(math.Round(p.u)))
+	for i := range out {
+		out[i] = level
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: one aggregated package power
+// sensor reading plus a broadcast of the uniform level, every epoch. The
+// sensor is a single message from the package power meter (modelled as one
+// gather of a single node's worth of traffic) and the broadcast is a full
+// scatter.
+func (p *PID) CommPerEpoch(mesh *noc.Mesh) noc.Cost {
+	s := mesh.ScatterCost(mesh.Center())
+	return noc.Cost{LatencyS: s.LatencyS, EnergyJ: s.EnergyJ}
+}

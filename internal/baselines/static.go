@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+// Static pins every core to the highest uniform VF level whose *worst-case*
+// chip power (all cores fully active at the hot-corner temperature) fits
+// the budget — the classical TDP design point. It never overshoots under
+// the model, and it never exploits a single watt of dynamic slack.
+type Static struct {
+	table *vf.Table
+	pwr   power.Params
+	// hotK is the temperature assumed for worst-case leakage.
+	hotK float64
+
+	level      int
+	haveBudget bool
+	lastBudget float64
+}
+
+// NewStatic builds the controller; hotK is the worst-case junction
+// temperature used for leakage sizing (e.g. 360 K).
+func NewStatic(table *vf.Table, pwr power.Params, hotK float64) (*Static, error) {
+	if table == nil {
+		return nil, fmt.Errorf("baselines: nil VF table")
+	}
+	if err := pwr.Validate(); err != nil {
+		return nil, err
+	}
+	if hotK <= 0 {
+		return nil, fmt.Errorf("baselines: hot temperature must be positive, got %g", hotK)
+	}
+	return &Static{table: table, pwr: pwr, hotK: hotK}, nil
+}
+
+// Name implements ctrl.Controller.
+func (s *Static) Name() string { return "static" }
+
+// levelFor computes the design point for a core count and budget.
+func (s *Static) levelFor(cores int, budgetW float64) int {
+	best := 0
+	for l := 0; l < s.table.Levels(); l++ {
+		op := s.table.Point(l)
+		worst := s.pwr.UncoreW + float64(cores)*s.pwr.CoreW(op.VoltageV, op.FreqHz, 1.0, s.hotK)
+		if worst <= budgetW {
+			best = l
+		}
+	}
+	return best
+}
+
+// Decide implements ctrl.Controller.
+func (s *Static) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	if !s.haveBudget || budgetW != s.lastBudget {
+		s.level = s.levelFor(len(tel.Cores), budgetW)
+		s.lastBudget = budgetW
+		s.haveBudget = true
+	}
+	for i := range out {
+		out[i] = s.level
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: the design point is set once at
+// boot (and on cap changes), so steady-state traffic is zero.
+func (s *Static) CommPerEpoch(*noc.Mesh) noc.Cost { return noc.Cost{} }

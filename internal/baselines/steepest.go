@@ -1,0 +1,131 @@
+package baselines
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/ctrl"
+	"repro/internal/manycore"
+	"repro/internal/noc"
+)
+
+// SteepestDrop starts every core at the top VF level and repeatedly applies
+// the single-step demotion that sheds the most predicted power per unit of
+// predicted throughput lost, until the chip fits the budget. This is the
+// greedy global heuristic of the steepest-drop family (Winter et al.),
+// O((n·L) log n) per decision.
+type SteepestDrop struct {
+	pred    ctrl.Predictor
+	cadence int
+
+	epoch int
+	last  []int
+}
+
+// NewSteepestDrop builds the controller.
+func NewSteepestDrop(pred ctrl.Predictor, cadence int) (*SteepestDrop, error) {
+	if cadence < 1 {
+		return nil, fmt.Errorf("baselines: cadence must be >= 1, got %d", cadence)
+	}
+	return &SteepestDrop{pred: pred, cadence: cadence}, nil
+}
+
+// Name implements ctrl.Controller.
+func (s *SteepestDrop) Name() string { return "steepest-drop" }
+
+// demotion is a heap entry: demoting core from its current level saves
+// dPower watts and loses dIPS; priority is power saved per throughput lost.
+type demotion struct {
+	core     int
+	fromLvl  int
+	dPowerW  float64
+	dIPS     float64
+	priority float64
+}
+
+type demotionHeap []demotion
+
+func (h demotionHeap) Len() int            { return len(h) }
+func (h demotionHeap) Less(i, j int) bool  { return h[i].priority > h[j].priority }
+func (h demotionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *demotionHeap) Push(x interface{}) { *h = append(*h, x.(demotion)) }
+func (h *demotionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Decide implements ctrl.Controller.
+func (s *SteepestDrop) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	defer func() { s.epoch++ }()
+	if s.last != nil && s.epoch%s.cadence != 0 {
+		copy(out, s.last)
+		return
+	}
+	s.solve(tel, budgetW, out)
+	if s.last == nil {
+		s.last = make([]int, len(out))
+	}
+	copy(s.last, out)
+}
+
+func (s *SteepestDrop) solve(tel *manycore.Telemetry, budgetW float64, out []int) {
+	n := len(tel.Cores)
+	top := s.pred.VF.Levels() - 1
+
+	// Start everything at the top and total up predicted power.
+	power := make([]float64, n)
+	total := s.pred.Power.UncoreW
+	for i := 0; i < n; i++ {
+		out[i] = top
+		power[i] = s.pred.PowerAt(tel.Cores[i], top)
+		total += power[i]
+	}
+
+	mk := func(i int) (demotion, bool) {
+		lvl := out[i]
+		if lvl == 0 {
+			return demotion{}, false
+		}
+		pLow := s.pred.PowerAt(tel.Cores[i], lvl-1)
+		dP := power[i] - pLow
+		dI := s.pred.IPSAt(tel.Cores[i], lvl) - s.pred.IPSAt(tel.Cores[i], lvl-1)
+		prio := dP * 1e12 // losing no throughput: infinitely good
+		if dI > 0 {
+			prio = dP / dI
+		}
+		return demotion{core: i, fromLvl: lvl, dPowerW: dP, dIPS: dI, priority: prio}, true
+	}
+
+	h := make(demotionHeap, 0, n)
+	for i := 0; i < n; i++ {
+		if d, ok := mk(i); ok {
+			h = append(h, d)
+		}
+	}
+	heap.Init(&h)
+
+	for total > budgetW && h.Len() > 0 {
+		d := heap.Pop(&h).(demotion)
+		if out[d.core] != d.fromLvl {
+			continue // stale entry
+		}
+		out[d.core] = d.fromLvl - 1
+		power[d.core] -= d.dPowerW
+		total -= d.dPowerW
+		if nd, ok := mk(d.core); ok {
+			heap.Push(&h, nd)
+		}
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: gather + scatter per decision,
+// amortised over the cadence.
+func (s *SteepestDrop) CommPerEpoch(mesh *noc.Mesh) noc.Cost {
+	g := mesh.GatherCost(mesh.Center())
+	sc := mesh.ScatterCost(mesh.Center())
+	k := float64(s.cadence)
+	return noc.Cost{LatencyS: (g.LatencyS + sc.LatencyS) / k, EnergyJ: (g.EnergyJ + sc.EnergyJ) / k}
+}

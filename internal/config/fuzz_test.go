@@ -1,0 +1,31 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad: the experiment decoder must never panic and must never accept a
+// configuration its own validator rejects.
+func FuzzLoad(f *testing.F) {
+	var valid bytes.Buffer
+	if err := DefaultExperiment().Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(valid.String()[:valid.Len()/3])
+	f.Add(`{"cores": -1}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		exp, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := exp.Validate(); verr != nil {
+			t.Fatalf("Load accepted an invalid experiment: %v", verr)
+		}
+	})
+}

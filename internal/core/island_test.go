@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+func newIslandController(t *testing.T, chipW, chipH, iw, ih int) *IslandController {
+	t.Helper()
+	ic, err := NewIslands(chipW, chipH, iw, ih, vf.Default(), power.Default(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestNewIslandsValidation(t *testing.T) {
+	cases := []struct{ cw, ch, iw, ih int }{
+		{0, 4, 2, 2},
+		{4, 0, 2, 2},
+		{4, 4, 0, 2},
+		{4, 4, 3, 2}, // 3 does not divide 4
+		{4, 4, 2, 3},
+	}
+	for i, c := range cases {
+		if _, err := NewIslands(c.cw, c.ch, c.iw, c.ih, vf.Default(), power.Default(), Config{}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestIslandCountAndName(t *testing.T) {
+	ic := newIslandController(t, 4, 4, 2, 2)
+	if ic.Islands() != 4 {
+		t.Fatalf("Islands = %d, want 4", ic.Islands())
+	}
+	if ic.Name() != "od-rl-island" {
+		t.Fatalf("Name = %q", ic.Name())
+	}
+	if len(ic.Budgets()) != 4 {
+		t.Fatalf("Budgets has %d entries, want per-island", len(ic.Budgets()))
+	}
+}
+
+func TestIslandDecideUniformWithinIsland(t *testing.T) {
+	ic := newIslandController(t, 4, 4, 2, 2)
+	tel := fakeTel(16, 3, 1.0, 0.3)
+	out := make([]int, 16)
+	for e := 0; e < 30; e++ {
+		ic.Decide(tel, 40, out)
+		// Cores of one island must always share one level.
+		for _, members := range ic.islands {
+			for _, i := range members[1:] {
+				if out[i] != out[members[0]] {
+					t.Fatalf("epoch %d: island members disagree: %v", e, out)
+				}
+			}
+		}
+	}
+}
+
+func TestIslandDecidePanicsOnMismatch(t *testing.T) {
+	ic := newIslandController(t, 4, 4, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ic.Decide(fakeTel(8, 0, 1, 0), 40, make([]int, 8))
+}
+
+func TestIslandAggregation(t *testing.T) {
+	ic := newIslandController(t, 2, 2, 2, 1) // two 2x1 islands
+	tel := fakeTel(4, 2, 1.0, 0.0)
+	// Island 0 = cores {0,1}; make them distinguishable.
+	tel.Cores[0].IPS = 1e9
+	tel.Cores[0].MemBoundedness = 0.0
+	tel.Cores[1].IPS = 3e9
+	tel.Cores[1].MemBoundedness = 1.0
+	tel.Cores[1].TempK = 360
+	tel.Cores[1].Level = 5
+	out := make([]int, 4)
+	ic.Decide(tel, 30, out)
+
+	agg := ic.aggTel.Cores[0]
+	if agg.IPS != 4e9 {
+		t.Fatalf("island IPS = %v, want sum 4e9", agg.IPS)
+	}
+	if agg.PowerW != 2.0 {
+		t.Fatalf("island power = %v, want 2.0", agg.PowerW)
+	}
+	// IPS-weighted memory-boundedness: (0*1 + 1*3)/4 = 0.75.
+	if agg.MemBoundedness != 0.75 {
+		t.Fatalf("island mem-boundedness = %v, want 0.75", agg.MemBoundedness)
+	}
+	if agg.TempK != 360 {
+		t.Fatalf("island temp = %v, want max 360", agg.TempK)
+	}
+	if agg.Level != 5 {
+		t.Fatalf("island level = %v, want max 5", agg.Level)
+	}
+}
+
+func TestIslandCommCost(t *testing.T) {
+	mesh, err := noc.New(4, 4, noc.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := newIslandController(t, 4, 4, 2, 2)
+	cost := ic.CommPerEpoch(mesh)
+	if cost.LatencyS <= 0 || cost.EnergyJ <= 0 {
+		t.Fatal("island controller comm cost must be positive (realloc traffic)")
+	}
+}
+
+// The headline property: on shared islands, island-aware OD-RL must not
+// exhibit the exploration-pinning overshoot that per-core agents do.
+func TestIslandAwareBeatsPerCoreOnSharedIslands(t *testing.T) {
+	// Build a tiny closed loop: the fake telemetry responds to the max
+	// level requested in each island, mimicking the chip's resolution.
+	tbl := vf.Default()
+	pp := power.Default()
+	const chipW, chipH = 4, 4
+	const budget = 30.0
+
+	powerAt := func(l int) float64 {
+		op := tbl.Point(l)
+		return pp.CoreW(op.VoltageV, op.FreqHz, 0.8, 330)
+	}
+	runLoop := func(decide func(*manycore.Telemetry, []int)) float64 {
+		levels := make([]int, 16)
+		out := make([]int, 16)
+		overJ := 0.0
+		for e := 0; e < 4000; e++ {
+			tel := &manycore.Telemetry{EpochS: 1e-3, Cores: make([]manycore.CoreTelemetry, 16)}
+			total := pp.UncoreW
+			for i := range tel.Cores {
+				op := tbl.Point(levels[i])
+				pw := powerAt(levels[i])
+				tel.Cores[i] = manycore.CoreTelemetry{
+					Level: levels[i], FreqHz: op.FreqHz, VoltageV: op.VoltageV,
+					IPS: op.FreqHz / 1.0, PowerW: pw, MemBoundedness: 0.2, TempK: 330,
+				}
+				total += pw
+			}
+			tel.TruePowerW, tel.ChipPowerW = total, total
+			decide(tel, out)
+			// Chip-wide island: max request wins everywhere.
+			max := 0
+			for _, l := range out {
+				if l > max {
+					max = l
+				}
+			}
+			for i := range levels {
+				levels[i] = max
+			}
+			if e >= 2000 && total > budget {
+				overJ += (total - budget) * 1e-3
+			}
+		}
+		return overJ
+	}
+
+	perCore, err := New(16, tbl, pp, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overPerCore := runLoop(func(tel *manycore.Telemetry, out []int) {
+		perCore.Decide(tel, budget, out)
+	})
+
+	island, err := NewIslands(chipW, chipH, chipW, chipH, tbl, pp, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overIsland := runLoop(func(tel *manycore.Telemetry, out []int) {
+		island.Decide(tel, budget, out)
+	})
+
+	if overIsland >= overPerCore {
+		t.Fatalf("island-aware overshoot %v J not below per-core %v J on a shared island",
+			overIsland, overPerCore)
+	}
+}

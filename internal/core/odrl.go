@@ -1,0 +1,569 @@
+// Package core implements OD-RL, the paper's contribution: On-line
+// Distributed Reinforcement Learning DVFS control for power-limited
+// many-core systems (Chen & Marculescu, DATE 2015).
+//
+// The controller is two-level:
+//
+//   - Fine grain (every control epoch, per core): a tabular RL agent picks
+//     the core's VF level. Its state is ⟨power-headroom bucket,
+//     memory-boundedness bucket, current level⟩; its reward is normalised
+//     throughput minus λ times the core's relative budget overshoot. The
+//     agent is model-free: it never predicts power, it learns which levels
+//     keep this core fast *and* inside its budget share across the phases
+//     it actually experiences.
+//
+//   - Coarse grain (every K epochs): a global O(n) budget-reallocation pass
+//     harvests slack from cores that are not using their share and
+//     redistributes it to power-constrained cores, weighted by how
+//     compute-bound (and hence frequency-responsive) each one is. This is
+//     the only step that needs global communication, which is what makes
+//     the scheme two orders of magnitude cheaper than centralized
+//     optimisation at hundreds of cores.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/rl"
+	"repro/internal/rng"
+	"repro/internal/vf"
+)
+
+// Config holds OD-RL hyper-parameters. Zero fields take defaults from
+// DefaultConfig.
+type Config struct {
+	// Lambda weights the overshoot penalty in the reward. Larger values
+	// trade throughput for tighter budget compliance (ablated in F9).
+	Lambda float64
+	// FineEpochsPerRealloc is K, the global reallocation cadence.
+	FineEpochsPerRealloc int
+	// ReallocMargin is the per-core slack fraction protected from
+	// harvesting, so a core keeps breathing room above its current draw.
+	ReallocMargin float64
+	// HarvestFraction is how much of the unprotected slack each pass
+	// moves; below 1.0 it damps oscillation.
+	HarvestFraction float64
+	// BudgetFloorFrac floors every core's share at this fraction of the
+	// equal split. Without a floor, reallocation harvests an idle core's
+	// share down to its draw, after which any level increase overshoots
+	// and is penalised — the agent can never climb back up.
+	BudgetFloorFrac float64
+	// HeadroomBuckets and MemBuckets size the state discretisation.
+	HeadroomBuckets int
+	MemBuckets      int
+	// Alpha, Gamma and the epsilon schedule configure the per-core agents.
+	Alpha        float64
+	Gamma        float64
+	EpsilonStart float64
+	EpsilonEnd   float64
+	EpsilonDecay float64
+	// Algorithm selects Q-learning (default), SARSA or double Q-learning.
+	Algorithm rl.Algorithm
+	// TraceLambda, when positive, enables Watkins Q(λ) eligibility traces
+	// in every per-core agent (QLearning only).
+	TraceLambda float64
+	// ThermalLambda, when positive, adds a thermal term to the reward:
+	// −ThermalLambda·(T−ThermalRefK)/50 for cores above ThermalRefK. It
+	// teaches hot cores to back off even when their power share permits
+	// more — a thermal-aware extension beyond the paper.
+	ThermalLambda float64
+	// ThermalRefK is the temperature at which the penalty starts;
+	// defaults to 350 K when ThermalLambda is set.
+	ThermalRefK float64
+	// DisableRealloc turns the coarse-grain layer off (ablation F9).
+	DisableRealloc bool
+	// ReallocEMA, when positive, makes the reallocation pass act on an
+	// exponentially smoothed view of per-core power (new = α·sample +
+	// (1−α)·old with α = ReallocEMA) instead of the last epoch's sample.
+	// Fast work/wait oscillation (the F14 barrier workload) otherwise
+	// makes budgets chase a regime that has already flipped.
+	ReallocEMA float64
+	// FunctionApprox replaces the tabular per-core agents with tile-coded
+	// linear SARSA(λ) over the continuous state ⟨headroom,
+	// memory-boundedness, level⟩ — no discretisation cliffs, smooth
+	// generalisation between neighbouring states. Policy persistence
+	// (SavePolicy/LoadPolicy) is tabular-only.
+	FunctionApprox bool
+	// Seed drives exploration.
+	Seed uint64
+}
+
+// DefaultConfig returns the hyper-parameters used throughout the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Lambda:               4.0,
+		FineEpochsPerRealloc: 10,
+		ReallocMargin:        0.10,
+		HarvestFraction:      0.30,
+		BudgetFloorFrac:      0.50,
+		HeadroomBuckets:      5,
+		MemBuckets:           4,
+		Alpha:                0.15,
+		Gamma:                0.80,
+		EpsilonStart:         0.50,
+		EpsilonEnd:           0.02,
+		EpsilonDecay:         0.9995,
+		Algorithm:            rl.QLearning,
+		Seed:                 1,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Lambda == 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.FineEpochsPerRealloc == 0 {
+		c.FineEpochsPerRealloc = d.FineEpochsPerRealloc
+	}
+	if c.ReallocMargin == 0 {
+		c.ReallocMargin = d.ReallocMargin
+	}
+	if c.HarvestFraction == 0 {
+		c.HarvestFraction = d.HarvestFraction
+	}
+	if c.BudgetFloorFrac == 0 {
+		c.BudgetFloorFrac = d.BudgetFloorFrac
+	}
+	if c.HeadroomBuckets == 0 {
+		c.HeadroomBuckets = d.HeadroomBuckets
+	}
+	if c.MemBuckets == 0 {
+		c.MemBuckets = d.MemBuckets
+	}
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.Gamma == 0 {
+		c.Gamma = d.Gamma
+	}
+	if c.EpsilonStart == 0 {
+		c.EpsilonStart = d.EpsilonStart
+	}
+	if c.EpsilonEnd == 0 {
+		c.EpsilonEnd = d.EpsilonEnd
+	}
+	if c.EpsilonDecay == 0 {
+		c.EpsilonDecay = d.EpsilonDecay
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ThermalLambda > 0 && c.ThermalRefK == 0 {
+		c.ThermalRefK = 350
+	}
+	return c
+}
+
+// Controller is the OD-RL power manager for one chip.
+type Controller struct {
+	cfg       Config
+	table     *vf.Table
+	pwr       power.Params
+	agents    []*rl.Agent       // tabular mode
+	linAgents []*rl.LinearAgent // function-approximation mode
+	codec     rl.Codec
+	headD     rl.Discretizer
+	memD      rl.Discretizer
+	xScratch  []float64 // continuous-state buffer, FA mode
+
+	budgets    []float64 // per-core power budget shares (W)
+	hwFloor    float64   // absolute minimum useful share (bottom level draw)
+	minBudget  float64   // active floor for any core's share
+	lastBudget float64   // chip budget seen on the previous Decide
+	maxIPS     float64   // normalisation constant for the reward
+	emaPower   []float64 // smoothed per-core power, ReallocEMA only
+	epoch      int
+	started    bool
+}
+
+// New creates an OD-RL controller for a chip with the given core count,
+// VF table and power constants.
+func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("core: invalid core count %d", cores)
+	}
+	if table == nil {
+		return nil, fmt.Errorf("core: nil VF table")
+	}
+	if err := pwr.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("core: negative Lambda %g", cfg.Lambda)
+	}
+	if cfg.FineEpochsPerRealloc < 1 {
+		return nil, fmt.Errorf("core: FineEpochsPerRealloc must be >= 1, got %d", cfg.FineEpochsPerRealloc)
+	}
+	if cfg.ReallocMargin < 0 || cfg.ReallocMargin >= 1 {
+		return nil, fmt.Errorf("core: ReallocMargin must be in [0,1), got %g", cfg.ReallocMargin)
+	}
+	if cfg.HarvestFraction <= 0 || cfg.HarvestFraction > 1 {
+		return nil, fmt.Errorf("core: HarvestFraction must be in (0,1], got %g", cfg.HarvestFraction)
+	}
+	if cfg.BudgetFloorFrac < 0 || cfg.BudgetFloorFrac >= 1 {
+		return nil, fmt.Errorf("core: BudgetFloorFrac must be in [0,1), got %g", cfg.BudgetFloorFrac)
+	}
+
+	codec := rl.MustCodec(cfg.HeadroomBuckets, cfg.MemBuckets, table.Levels())
+	rlCfg := rl.Config{
+		States:       codec.States(),
+		Actions:      table.Levels(),
+		Alpha:        cfg.Alpha,
+		Gamma:        cfg.Gamma,
+		Algorithm:    cfg.Algorithm,
+		Policy:       rl.EpsilonGreedy,
+		EpsilonStart: cfg.EpsilonStart,
+		EpsilonEnd:   cfg.EpsilonEnd,
+		EpsilonDecay: cfg.EpsilonDecay,
+		TraceLambda:  cfg.TraceLambda,
+		// Optimistic initialisation: the best sustained reward is roughly
+		// perf_max/(1−γ); starting near it makes every agent try each
+		// action in the states it actually visits before settling.
+		InitialQ: 2.0,
+	}
+	base := rng.New(cfg.Seed)
+	var agents []*rl.Agent
+	var linAgents []*rl.LinearAgent
+	if cfg.FunctionApprox {
+		// Continuous state: headroom in [-0.5, 0.5], memory-boundedness in
+		// [0, 1], level normalised to [0, 1]; 8 tiles per dim, 4 tilings.
+		coder, err := rl.NewTileCoder(
+			[]float64{-0.5, 0, 0},
+			[]float64{0.5, 1, 1},
+			8, 4)
+		if err != nil {
+			return nil, err
+		}
+		linCfg := rl.LinearConfig{
+			Actions:      table.Levels(),
+			Alpha:        cfg.Alpha,
+			Gamma:        cfg.Gamma,
+			Lambda:       cfg.TraceLambda,
+			EpsilonStart: cfg.EpsilonStart,
+			EpsilonEnd:   cfg.EpsilonEnd,
+			EpsilonDecay: cfg.EpsilonDecay,
+		}
+		linAgents = make([]*rl.LinearAgent, cores)
+		for i := range linAgents {
+			a, err := rl.NewLinearAgent(coder, linCfg, base.Split())
+			if err != nil {
+				return nil, err
+			}
+			linAgents[i] = a
+		}
+	} else {
+		agents = make([]*rl.Agent, cores)
+		for i := range agents {
+			a, err := rl.NewAgent(rlCfg, base.Split())
+			if err != nil {
+				return nil, err
+			}
+			agents[i] = a
+		}
+	}
+
+	minOp := table.Min()
+	c := &Controller{
+		cfg:       cfg,
+		table:     table,
+		pwr:       pwr,
+		agents:    agents,
+		linAgents: linAgents,
+		codec:     codec,
+		headD:     rl.MustDiscretizer(-0.5, 0.5, cfg.HeadroomBuckets),
+		memD:      rl.MustDiscretizer(0, 1, cfg.MemBuckets),
+		// A core's share can never usefully drop below its draw at the
+		// bottom level with modest activity; initBudgets raises this to a
+		// fraction of the equal split once the budget is known.
+		hwFloor: pwr.CoreW(minOp.VoltageV, minOp.FreqHz, 0.2, 330),
+		budgets: make([]float64, cores),
+		// Reward normalisation: the fastest plausible core, ~2 IPC at fmax.
+		maxIPS: 2 * table.Max().FreqHz,
+	}
+	return c, nil
+}
+
+// Name implements ctrl.Controller.
+func (c *Controller) Name() string {
+	switch {
+	case c.cfg.DisableRealloc:
+		return "od-rl-norealloc"
+	case c.cfg.FunctionApprox:
+		return "od-rl-fa"
+	default:
+		return "od-rl"
+	}
+}
+
+// Budgets returns a copy of the current per-core budget shares, exposed for
+// experiments that inspect the reallocation layer.
+func (c *Controller) Budgets() []float64 {
+	out := make([]float64, len(c.budgets))
+	copy(out, c.budgets)
+	return out
+}
+
+// initBudgets splits the core-level budget equally and sets the share
+// floor: the larger of the hardware floor and BudgetFloorFrac of the equal
+// split (never above the split itself, so the floors always fit the total).
+func (c *Controller) initBudgets(chipBudgetW float64) {
+	share := c.coreBudgetTotal(chipBudgetW) / float64(len(c.budgets))
+	for i := range c.budgets {
+		c.budgets[i] = share
+	}
+	c.minBudget = c.cfg.BudgetFloorFrac * share
+	if c.minBudget < c.hwFloor {
+		c.minBudget = c.hwFloor
+	}
+	if c.minBudget > share {
+		c.minBudget = share
+	}
+	c.lastBudget = chipBudgetW
+}
+
+// coreBudgetTotal is the chip budget minus the uncore floor, never below a
+// tiny positive amount so ratios stay finite even for absurd budgets.
+func (c *Controller) coreBudgetTotal(chipBudgetW float64) float64 {
+	t := chipBudgetW - c.pwr.UncoreW
+	min := c.hwFloor * float64(len(c.budgets)) * 0.1
+	if t < min {
+		t = min
+	}
+	return t
+}
+
+// numCores returns the number of control domains.
+func (c *Controller) numCores() int {
+	if c.linAgents != nil {
+		return len(c.linAgents)
+	}
+	return len(c.agents)
+}
+
+// Decide implements ctrl.Controller.
+func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
+	n := c.numCores()
+	if len(tel.Cores) != n || len(out) != n {
+		panic(fmt.Sprintf("core: telemetry for %d cores, out %d, controller has %d",
+			len(tel.Cores), len(out), n))
+	}
+	if !c.started {
+		c.initBudgets(budgetW)
+	} else if budgetW != c.lastBudget {
+		// Budget moved (e.g. a datacentre cap event): rescale every share
+		// and recompute the floor for the new total.
+		scale := c.coreBudgetTotal(budgetW) / c.coreBudgetTotal(c.lastBudget)
+		share := c.coreBudgetTotal(budgetW) / float64(len(c.budgets))
+		c.minBudget = c.cfg.BudgetFloorFrac * share
+		if c.minBudget < c.hwFloor {
+			c.minBudget = c.hwFloor
+		}
+		if c.minBudget > share {
+			c.minBudget = share
+		}
+		for i := range c.budgets {
+			c.budgets[i] *= scale
+			if c.budgets[i] < c.minBudget {
+				c.budgets[i] = c.minBudget
+			}
+		}
+		c.lastBudget = budgetW
+	}
+
+	for i := 0; i < n; i++ {
+		ct := &tel.Cores[i]
+		if c.linAgents != nil {
+			x := c.contStateOf(ct, c.budgets[i])
+			if !c.started {
+				out[i] = c.linAgents[i].Begin(x)
+				continue
+			}
+			out[i] = c.linAgents[i].Step(c.rewardOf(ct, c.budgets[i]), x)
+			continue
+		}
+		state := c.stateOf(ct, c.budgets[i])
+		if !c.started {
+			out[i] = c.agents[i].Begin(state)
+			continue
+		}
+		out[i] = c.agents[i].Step(c.rewardOf(ct, c.budgets[i]), state)
+	}
+	c.started = true
+	c.epoch++
+
+	if a := c.cfg.ReallocEMA; a > 0 {
+		if c.emaPower == nil {
+			c.emaPower = make([]float64, n)
+			for i := range c.emaPower {
+				c.emaPower[i] = tel.Cores[i].PowerW
+			}
+		} else {
+			for i := range c.emaPower {
+				c.emaPower[i] = a*tel.Cores[i].PowerW + (1-a)*c.emaPower[i]
+			}
+		}
+	}
+
+	if !c.cfg.DisableRealloc && c.epoch%c.cfg.FineEpochsPerRealloc == 0 {
+		c.reallocate(tel, budgetW)
+	}
+}
+
+// reallocPower returns the power view the reallocation pass acts on.
+func (c *Controller) reallocPower(tel *manycore.Telemetry, i int) float64 {
+	if c.emaPower != nil {
+		return c.emaPower[i]
+	}
+	return tel.Cores[i].PowerW
+}
+
+// contStateOf builds the continuous state vector for FA mode. The scratch
+// buffer is reused; LinearAgent copies what it needs.
+func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64) []float64 {
+	if c.xScratch == nil {
+		c.xScratch = make([]float64, 3)
+	}
+	headroom := 0.0
+	if budget > 0 {
+		headroom = (budget - ct.PowerW) / budget
+	}
+	levels := float64(c.table.Levels() - 1)
+	c.xScratch[0] = headroom
+	c.xScratch[1] = ct.MemBoundedness
+	c.xScratch[2] = float64(ct.Level) / levels
+	return c.xScratch
+}
+
+// stateOf discretises one core's observation.
+func (c *Controller) stateOf(ct *manycore.CoreTelemetry, budget float64) int {
+	headroom := 0.0
+	if budget > 0 {
+		headroom = (budget - ct.PowerW) / budget
+	}
+	return c.codec.Encode(
+		c.headD.Bucket(headroom),
+		c.memD.Bucket(ct.MemBoundedness),
+		ct.Level,
+	)
+}
+
+// rewardOf scores the epoch that just finished for one core.
+func (c *Controller) rewardOf(ct *manycore.CoreTelemetry, budget float64) float64 {
+	perf := ct.IPS / c.maxIPS
+	overshoot := 0.0
+	if budget > 0 && ct.PowerW > budget {
+		overshoot = (ct.PowerW - budget) / budget
+	}
+	r := perf - c.cfg.Lambda*overshoot
+	if c.cfg.ThermalLambda > 0 && ct.TempK > c.cfg.ThermalRefK {
+		r -= c.cfg.ThermalLambda * (ct.TempK - c.cfg.ThermalRefK) / 50
+	}
+	return r
+}
+
+// reallocate is the coarse-grain O(n) budget redistribution pass.
+func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
+	n := len(c.budgets)
+	total := c.coreBudgetTotal(budgetW)
+
+	// Pass 1: harvest unprotected slack from under-consuming cores.
+	pool := 0.0
+	for i := 0; i < n; i++ {
+		used := c.reallocPower(tel, i)
+		margin := c.cfg.ReallocMargin * c.budgets[i]
+		slack := c.budgets[i] - used - margin
+		if slack > 0 {
+			h := c.cfg.HarvestFraction * slack
+			if c.budgets[i]-h < c.minBudget {
+				h = c.budgets[i] - c.minBudget
+			}
+			if h > 0 {
+				c.budgets[i] -= h
+				pool += h
+			}
+		}
+	}
+	if pool <= 0 {
+		return
+	}
+
+	// Pass 2: grant the pool with weights favouring power-constrained,
+	// compute-bound cores — a memory-bound core gains little from more
+	// frequency, so its claim on the pool is weak. Unconstrained cores
+	// keep a small weight so the distribution stays smooth rather than
+	// oscillating between harvest and grant.
+	weightSum := 0.0
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		used := c.reallocPower(tel, i)
+		margin := c.cfg.ReallocMargin * c.budgets[i]
+		w := 0.05
+		if used >= c.budgets[i]-margin {
+			w = (1 - tel.Cores[i].MemBoundedness) + 0.1
+		}
+		weights[i] = w
+		weightSum += w
+	}
+	for i := 0; i < n; i++ {
+		c.budgets[i] += pool * weights[i] / weightSum
+	}
+
+	// Pass 3: restore the invariant Σ budgets = total exactly while
+	// respecting the per-core floor: the excess above the floor is scaled
+	// proportionally so harvest arithmetic can never drift the aggregate
+	// cap or starve a core below the floor.
+	floorTotal := c.minBudget * float64(n)
+	if total <= floorTotal {
+		share := total / float64(n)
+		for i := range c.budgets {
+			c.budgets[i] = share
+		}
+		return
+	}
+	excessTotal := 0.0
+	for _, b := range c.budgets {
+		e := b - c.minBudget
+		if e > 0 {
+			excessTotal += e
+		}
+	}
+	target := total - floorTotal
+	if excessTotal <= 0 {
+		share := target / float64(n)
+		for i := range c.budgets {
+			c.budgets[i] = c.minBudget + share
+		}
+		return
+	}
+	scale := target / excessTotal
+	for i := range c.budgets {
+		e := c.budgets[i] - c.minBudget
+		if e < 0 {
+			e = 0
+		}
+		c.budgets[i] = c.minBudget + e*scale
+	}
+}
+
+// CommPerEpoch implements ctrl.Controller: fine-grain decisions are purely
+// local; only the reallocation pass (every K epochs) gathers telemetry and
+// scatters budgets, so its cost is amortised by K.
+func (c *Controller) CommPerEpoch(m *noc.Mesh) noc.Cost {
+	if c.cfg.DisableRealloc {
+		return noc.Cost{}
+	}
+	g := m.GatherCost(m.Center())
+	s := m.ScatterCost(m.Center())
+	k := float64(c.cfg.FineEpochsPerRealloc)
+	return noc.Cost{
+		LatencyS: (g.LatencyS + s.LatencyS) / k,
+		EnergyJ:  (g.EnergyJ + s.EnergyJ) / k,
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	src := newController(t, 4, Config{Seed: 5})
+	out := make([]int, 4)
+	tel := fakeTel(4, 2, 1.0, 0.3)
+	for e := 0; e < 200; e++ {
+		src.Decide(tel, 30, out)
+	}
+
+	var buf bytes.Buffer
+	if err := src.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newController(t, 4, Config{Seed: 99})
+	if err := dst.LoadPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The restored tables must match the source exactly.
+	for i := range src.agents {
+		st, dt := src.agents[i].Table(), dst.agents[i].Table()
+		for s := 0; s < st.States(); s++ {
+			for a := 0; a < st.Actions(); a++ {
+				if st.Get(s, a) != dt.Get(s, a) {
+					t.Fatalf("agent %d Q(%d,%d) differs after restore", i, s, a)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadPolicyRejectsMismatches(t *testing.T) {
+	src := newController(t, 4, Config{})
+	var buf bytes.Buffer
+	if err := src.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	// Wrong core count.
+	dst := newController(t, 8, Config{})
+	if err := dst.LoadPolicy(strings.NewReader(saved)); err == nil {
+		t.Fatal("expected core-count mismatch error")
+	}
+
+	// Wrong state shape (different bucket counts).
+	dst2 := newController(t, 4, Config{HeadroomBuckets: 3})
+	if err := dst2.LoadPolicy(strings.NewReader(saved)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+
+	// Garbage input.
+	dst3 := newController(t, 4, Config{})
+	if err := dst3.LoadPolicy(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+
+	// Wrong version.
+	bad := strings.Replace(saved, `"version":1`, `"version":9`, 1)
+	if err := dst3.LoadPolicy(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestWarmStartedControllerActsLikeSource(t *testing.T) {
+	cfgTrained := DefaultConfig()
+	cfgTrained.Seed = 7
+	src := newController(t, 2, cfgTrained)
+	out := make([]int, 2)
+	tel := fakeTel(2, 2, 1.0, 0.2)
+	for e := 0; e < 500; e++ {
+		src.Decide(tel, 15, out)
+	}
+	var buf bytes.Buffer
+	if err := src.SavePolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh controller with exploration disabled must act greedily per
+	// the restored policy immediately.
+	cfg := DefaultConfig()
+	cfg.EpsilonStart = 1e-9
+	cfg.EpsilonEnd = 1e-10
+	warm, err := New(2, vf.Default(), power.Default(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.LoadPolicy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warmOut := make([]int, 2)
+	warm.Decide(tel, 15, warmOut)
+	for i := range warmOut {
+		state := warm.stateOf(&tel.Cores[i], warm.Budgets()[i])
+		if warmOut[i] != warm.agents[i].Greedy(state) {
+			t.Fatalf("warm-started agent %d did not act greedily on its restored policy", i)
+		}
+	}
+}
+
+func TestODRLWithTraceLambda(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceLambda = 0.8
+	c, err := New(4, vf.Default(), power.Default(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, 4)
+	tel := fakeTel(4, 2, 1.0, 0.3)
+	for e := 0; e < 100; e++ {
+		c.Decide(tel, 30, out)
+		for _, l := range out {
+			if l < 0 || l >= vf.Default().Levels() {
+				t.Fatalf("invalid level %d", l)
+			}
+		}
+	}
+}

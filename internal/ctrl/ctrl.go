@@ -1,0 +1,102 @@
+// Package ctrl defines the control-plane contract shared by the OD-RL
+// controller (package core) and all baseline power managers (package
+// baselines), plus the telemetry-based power/performance predictor the
+// prediction-based baselines rely on.
+//
+// A Controller sees exactly what the hardware exposes — the previous
+// epoch's telemetry and the chip power budget — and emits a VF level per
+// core. Controllers also declare their NoC traffic pattern so experiments
+// can charge communication costs (claim C4 in DESIGN.md).
+package ctrl
+
+import (
+	"fmt"
+
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+// Controller is one power-management policy.
+type Controller interface {
+	// Name identifies the controller in tables and traces.
+	Name() string
+	// Decide consumes the last epoch's telemetry and the chip budget in
+	// watts, and writes the next VF level for every core into out
+	// (len(out) == len(tel.Cores)). Implementations must not retain tel.
+	Decide(tel *manycore.Telemetry, budgetW float64, out []int)
+	// CommPerEpoch returns the controller's average per-control-epoch NoC
+	// communication cost on the given mesh (telemetry gather, command
+	// scatter, or neighbour exchange, amortised over its cadence).
+	CommPerEpoch(m *noc.Mesh) noc.Cost
+}
+
+// Predictor turns one core's observed telemetry into power and performance
+// estimates at other VF levels, exactly the model a MaxBIPS-class manager
+// builds from performance counters. Its error on abrupt phase changes —
+// the telemetry describes the previous phase, not the next — is the
+// fundamental source of budget overshoot for prediction-based control.
+type Predictor struct {
+	VF    *vf.Table
+	Power power.Params
+}
+
+// NewPredictor builds a predictor; both fields are required.
+func NewPredictor(table *vf.Table, p power.Params) (Predictor, error) {
+	if table == nil {
+		return Predictor{}, fmt.Errorf("ctrl: nil VF table")
+	}
+	if err := p.Validate(); err != nil {
+		return Predictor{}, err
+	}
+	return Predictor{VF: table, Power: p}, nil
+}
+
+// PowerAt estimates the core's power if moved to the given level, holding
+// its current phase. The observed power is split into a model-computed
+// leakage part and a residual dynamic part; dynamic scales with V²f,
+// leakage with the leakage model at the new voltage.
+func (p Predictor) PowerAt(ct manycore.CoreTelemetry, level int) float64 {
+	cur := p.VF.Point(ct.Level)
+	next := p.VF.Point(level)
+	leakCur := p.Power.LeakageW(cur.VoltageV, ct.TempK)
+	dyn := ct.PowerW - leakCur
+	if dyn < 0 {
+		dyn = 0
+	}
+	scale := (next.VoltageV * next.VoltageV * next.FreqHz) /
+		(cur.VoltageV * cur.VoltageV * cur.FreqHz)
+	return dyn*scale + p.Power.LeakageW(next.VoltageV, ct.TempK)
+}
+
+// IPSAt estimates the core's instruction throughput at the given level,
+// holding its current phase, using the observed memory-boundedness as an
+// Amdahl-style correction: the memory-stall fraction of time does not
+// shrink when the clock speeds up.
+func (p Predictor) IPSAt(ct manycore.CoreTelemetry, level int) float64 {
+	cur := p.VF.Point(ct.Level)
+	next := p.VF.Point(level)
+	mb := ct.MemBoundedness
+	if mb < 0 {
+		mb = 0
+	} else if mb > 1 {
+		mb = 1
+	}
+	// Time per instruction splits into a core part (scales 1/f) and a
+	// memory part (constant): t(f') = t(f)·((1−mb)·f/f' + mb).
+	denom := (1-mb)*cur.FreqHz/next.FreqHz + mb
+	if denom <= 0 {
+		return 0
+	}
+	return ct.IPS / denom
+}
+
+// MinChipPowerW returns a model-based lower bound for chip power with every
+// core at the bottom level and idle activity, used by controllers to detect
+// infeasible budgets.
+func (p Predictor) MinChipPowerW(cores int, tempK float64) float64 {
+	op := p.VF.Min()
+	perCore := p.Power.CoreW(op.VoltageV, op.FreqHz, 0.05, tempK)
+	return p.Power.UncoreW + float64(cores)*perCore
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/vf"
+)
+
+// F9Ablation exercises the design choices DESIGN.md calls out: the global
+// reallocation layer (on/off) and the overshoot penalty λ. Reallocation
+// should buy throughput on imbalanced (mix) workloads; λ trades throughput
+// against compliance.
+func F9Ablation(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	t := Table{
+		ID:     "F9",
+		Title:  fmt.Sprintf("OD-RL ablations at %.0f W (mix workload)", cfg.BudgetW),
+		Header: []string{"variant", "BIPS", "mean(W)", "over(J)", "over-time(%)", "BIPS/W"},
+	}
+
+	run := func(label string, build func() (ctrl.Controller, error)) error {
+		c, err := build()
+		if err != nil {
+			return err
+		}
+		opts := sim.DefaultOptions()
+		opts.Cores = cfg.Cores
+		opts.BudgetW = cfg.BudgetW
+		opts.WarmupS = cfg.WarmupS
+		opts.MeasureS = cfg.MeasureS
+		opts.Seed = cfg.Seed
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			return err
+		}
+		s := res.Summary
+		t.Rows = append(t.Rows, []string{
+			label, cell(s.BIPS()), cell(s.MeanW), cell(s.OverJ),
+			cell(100 * s.OverTimeFrac()), cell(s.EnergyEff()),
+		})
+		return nil
+	}
+
+	// Baseline and no-reallocation variants via the factory.
+	for _, name := range []string{"od-rl", "od-rl-norealloc"} {
+		name := name
+		if err := run(name, func() (ctrl.Controller, error) {
+			env := sim.DefaultEnv(cfg.Cores)
+			env.Seed = cfg.Seed
+			return sim.NewController(name, env)
+		}); err != nil {
+			return Table{}, err
+		}
+	}
+
+	// λ sweep, including λ=0 (no overshoot penalty at all).
+	lambdas := []float64{0.5, 1, 2, 8}
+	if cfg.Quick {
+		lambdas = []float64{0.5}
+	}
+	for _, lambda := range lambdas {
+		lambda := lambda
+		if err := run(fmt.Sprintf("od-rl λ=%g", lambda), func() (ctrl.Controller, error) {
+			c := core.DefaultConfig()
+			c.Lambda = lambda
+			c.Seed = cfg.Seed
+			return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
+		}); err != nil {
+			return Table{}, err
+		}
+	}
+
+	// SARSA variant: on-policy learning of the same controller.
+	if err := run("od-rl sarsa", func() (ctrl.Controller, error) {
+		c := core.DefaultConfig()
+		c.Algorithm = rl.SARSA
+		c.Seed = cfg.Seed
+		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
+	}); err != nil {
+		return Table{}, err
+	}
+
+	// EMA-smoothed reallocation (the F14-motivated fix).
+	if err := run("od-rl ema-realloc", func() (ctrl.Controller, error) {
+		c := core.DefaultConfig()
+		c.ReallocEMA = 0.05
+		c.Seed = cfg.Seed
+		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
+	}); err != nil {
+		return Table{}, err
+	}
+
+	// Tile-coded linear function approximation instead of tables.
+	if err := run("od-rl tile-coding", func() (ctrl.Controller, error) {
+		c := core.DefaultConfig()
+		c.FunctionApprox = true
+		c.TraceLambda = 0.7
+		c.Seed = cfg.Seed
+		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
+	}); err != nil {
+		return Table{}, err
+	}
+
+	t.Notes = append(t.Notes,
+		"norealloc freezes equal per-core budgets; realloc should win BIPS on imbalanced mixes",
+		"λ raises compliance at the cost of throughput",
+	)
+	return t, nil
+}

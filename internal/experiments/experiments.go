@@ -1,0 +1,223 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (as reconstructed in DESIGN.md — the paper body is not
+// available, so experiment IDs are ours and each maps to an abstract claim
+// or standard supporting material).
+//
+// Each experiment is a function returning a Table; cmd/odrl-bench renders
+// them for humans and bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Cores is the default platform size.
+	Cores int
+	// BudgetW is the default chip budget.
+	BudgetW float64
+	// WarmupS and MeasureS set run windows.
+	WarmupS  float64
+	MeasureS float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Controllers and Benchmarks select the comparison axes; empty slices
+	// take the defaults.
+	Controllers []string
+	Benchmarks  []string
+	// Quick shrinks run lengths for use inside unit tests and smoke runs;
+	// numbers remain directionally meaningful but noisier.
+	Quick bool
+}
+
+// Default returns the evaluation configuration used in EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Cores:    64,
+		BudgetW:  55,
+		WarmupS:  4,
+		MeasureS: 6,
+		Seed:     1,
+		Controllers: []string{
+			"od-rl", "maxbips", "steepest-drop", "pid", "greedy", "static",
+		},
+		Benchmarks: []string{
+			"blackscholes", "bodytrack", "canneal", "dedup", "ferret",
+			"fluidanimate", "streamcluster", "swaptions", "vips", "x264",
+		},
+	}
+}
+
+// normalized applies Quick scaling and fills empty axes.
+func (c Config) normalized() Config {
+	d := Default()
+	if c.Cores == 0 {
+		c.Cores = d.Cores
+	}
+	if c.BudgetW == 0 {
+		c.BudgetW = d.BudgetW
+	}
+	if c.WarmupS == 0 {
+		c.WarmupS = d.WarmupS
+	}
+	if c.MeasureS == 0 {
+		c.MeasureS = d.MeasureS
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if len(c.Controllers) == 0 {
+		c.Controllers = d.Controllers
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = d.Benchmarks
+	}
+	if c.Quick {
+		c.WarmupS = 0.5
+		c.MeasureS = 0.5
+		if c.Cores > 16 {
+			c.Cores = 16
+		}
+		if len(c.Benchmarks) > 3 {
+			c.Benchmarks = c.Benchmarks[:3]
+		}
+	}
+	return c
+}
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// WriteTo renders the table as aligned text.
+func (t Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	rows := append([][]string{t.Header}, t.Rows...)
+	widths := make([]int, len(t.Header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteString("\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSV renders the table as CSV (header row then data rows); notes are
+// emitted as trailing comment lines.
+func (t Table) WriteCSV(w io.Writer) error {
+	writeRow := func(row []string) error {
+		for i, cell := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, cell); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell formats a float compactly for table cells.
+func cell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Registry maps experiment IDs to their runners, in presentation order.
+type Runner func(Config) (Table, error)
+
+// All returns the experiment registry in presentation order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"T1", T1Platform},
+		{"T2", T2Workloads},
+		{"F1", F1PowerTrace},
+		{"F2", F2Overshoot},
+		{"F3", F3ThroughputPerOverEnergy},
+		{"F4", F4EnergyEfficiency},
+		{"F5", F5ControllerScaling},
+		{"F6", F6Convergence},
+		{"F7", F7BudgetSweep},
+		{"F8", F8CoreScaling},
+		{"F9", F9Ablation},
+		{"F10", F10Thermal},
+		{"F11", F11Variation},
+		{"F12", F12WarmStart},
+		{"F13", F13Islands},
+		{"F14", F14Barrier},
+		{"F15", F15Seeds},
+		{"F16", F16Server},
+		{"F17", F17Hetero},
+	}
+}
+
+// ByID returns the runner for one experiment ID.
+func ByID(id string) (Runner, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

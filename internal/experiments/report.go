@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteMarkdown renders a table as GitHub-flavoured markdown.
+func (t Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	b.WriteString("\n")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReportOptions scope a full report run.
+type ReportOptions struct {
+	Config Config
+	// IDs selects which experiments to include; empty means all.
+	IDs []string
+	// SkipVerify omits the claim-verification section.
+	SkipVerify bool
+	// Elapsed, when non-nil, is called with each experiment's runtime
+	// (used for progress output by the CLI).
+	Elapsed func(id string, d time.Duration)
+}
+
+// WriteReport runs the selected experiments and emits a complete markdown
+// report: claim verdicts first, then every table. This is the one-command
+// path from a clean checkout to a reviewable reproduction record.
+func WriteReport(w io.Writer, opts ReportOptions) error {
+	cfg := opts.Config.normalized()
+
+	fmt.Fprintf(w, "# OD-RL reproduction report\n\n")
+	fmt.Fprintf(w, "Configuration: %d cores, %.0f W budget, seed %d", cfg.Cores, cfg.BudgetW, cfg.Seed)
+	if cfg.Quick {
+		fmt.Fprintf(w, " (quick mode)")
+	}
+	fmt.Fprintf(w, ".\n\n")
+
+	if !opts.SkipVerify {
+		fmt.Fprintf(w, "## Claim verification\n\n")
+		results, err := VerifyClaims(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "| claim | paper | measured | verdict |")
+		fmt.Fprintln(w, "| --- | --- | --- | --- |")
+		for _, r := range results {
+			verdict := "PASS"
+			if !r.Pass {
+				verdict = "**FAIL**"
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", r.ID, r.Claim, r.Measured, verdict)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "## Experiments\n\n")
+	want := opts.IDs
+	for _, e := range All() {
+		if len(want) > 0 {
+			found := false
+			for _, id := range want {
+				if id == e.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		if opts.Elapsed != nil {
+			opts.Elapsed(e.ID, time.Since(start))
+		}
+		if err := tbl.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ctrl"
+	"repro/internal/manycore"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/vf"
+)
+
+// syntheticTelemetry fabricates one plausible telemetry frame for n cores:
+// levels spread over the table, mixed memory-boundedness, powers from the
+// model. It feeds controller micro-benchmarks without simulator overhead.
+func syntheticTelemetry(n int, seed uint64) *manycore.Telemetry {
+	table := vf.Default()
+	pp := power.Default()
+	r := rng.New(seed)
+	tel := &manycore.Telemetry{EpochS: 1e-3, Cores: make([]manycore.CoreTelemetry, n)}
+	total := pp.UncoreW
+	for i := range tel.Cores {
+		lvl := r.Intn(table.Levels())
+		op := table.Point(lvl)
+		mb := r.Float64()
+		act := 0.3 + 0.6*r.Float64()
+		pw := pp.CoreW(op.VoltageV, op.FreqHz, act, 330)
+		tel.Cores[i] = manycore.CoreTelemetry{
+			Level: lvl, FreqHz: op.FreqHz, VoltageV: op.VoltageV,
+			IPS: op.FreqHz / (0.8 + 2*mb), PowerW: pw,
+			MemBoundedness: mb, TempK: 330,
+		}
+		total += pw
+	}
+	tel.TruePowerW = total
+	tel.ChipPowerW = total
+	return tel
+}
+
+// timeDecide measures the mean wall-clock latency of one Decide invocation.
+func timeDecide(c ctrl.Controller, tel *manycore.Telemetry, budgetW float64) time.Duration {
+	n := len(tel.Cores)
+	out := make([]int, n)
+	// Warm the controller (allocations, table setup).
+	c.Decide(tel, budgetW, out)
+	c.Decide(tel, budgetW, out)
+	const maxWall = 500 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < maxWall && iters < 2000 {
+		c.Decide(tel, budgetW, out)
+		iters++
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// F5ControllerScaling reproduces claim C4: per-decision controller latency
+// versus core count, with the modelled NoC telemetry-collection latency
+// alongside. OD-RL's fine layer is O(n) table lookups; the MaxBIPS knapsack
+// grows superlinearly because its power-discretisation grid widens with the
+// chip budget.
+func F5ControllerScaling(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	coreCounts := []int{16, 64, 256, 1024}
+	if cfg.Quick {
+		coreCounts = []int{16, 64}
+	}
+	names := []string{"od-rl", "maxbips", "steepest-drop", "pid"}
+
+	t := Table{
+		ID:     "F5",
+		Title:  "controller decision latency vs core count",
+		Header: []string{"cores", "budget(W)"},
+		Notes: []string{
+			"decision latency in µs per Decide invocation (synthetic telemetry)",
+			"noc-gather = modelled telemetry collection latency for centralized control",
+			"speedup = maxbips / od-rl decision latency; paper claims two orders of magnitude for hundreds of cores",
+		},
+	}
+	for _, n := range names {
+		t.Header = append(t.Header, n+"(µs)")
+	}
+	t.Header = append(t.Header, "noc-gather(µs)", "speedup")
+
+	for _, n := range coreCounts {
+		budget := 1.4*float64(n) + power.Default().UncoreW
+		tel := syntheticTelemetry(n, cfg.Seed)
+		row := []string{fmt.Sprintf("%d", n), cell(budget)}
+		var odrlUS, maxbipsUS float64
+		for _, name := range names {
+			env := sim.DefaultEnv(n)
+			env.Seed = cfg.Seed
+			c, err := sim.NewController(name, env)
+			if err != nil {
+				return Table{}, err
+			}
+			us := float64(timeDecide(c, tel, budget)) / 1e3
+			row = append(row, cell(us))
+			switch name {
+			case "od-rl":
+				odrlUS = us
+			case "maxbips":
+				maxbipsUS = us
+			}
+		}
+		w, h, err := sim.GridFor(n)
+		if err != nil {
+			return Table{}, err
+		}
+		mesh, err := noc.New(w, h, noc.Default())
+		if err != nil {
+			return Table{}, err
+		}
+		gatherUS := mesh.GatherCost(mesh.Center()).LatencyS * 1e6
+		speedup := 0.0
+		if odrlUS > 0 {
+			speedup = maxbipsUS / odrlUS
+		}
+		row = append(row, cell(gatherUS), fmt.Sprintf("%.0fx", speedup))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// F15Seeds is an extension experiment: statistical robustness. Every other
+// table reports a single seeded realisation (exactly reproducible); this
+// one re-runs the headline comparison over several independent seeds —
+// fresh workload realisations, sensor noise and exploration streams — and
+// reports mean ± 95% confidence interval, demonstrating the orderings are
+// not artifacts of one lucky seed.
+func F15Seeds(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	nSeeds := 5
+	names := []string{"od-rl", "maxbips", "pid"}
+	if cfg.Quick {
+		nSeeds = 2
+		names = []string{"od-rl", "pid"}
+	}
+
+	t := Table{
+		ID:     "F15",
+		Title:  fmt.Sprintf("seed robustness over %d seeds at %.0f W (extension)", nSeeds, cfg.BudgetW),
+		Header: []string{"controller", "BIPS", "±95%", "over(J)", "±95%", "BIPS/W", "±95%"},
+		Notes: []string{
+			"each seed is an independent workload/noise/exploration realisation",
+			"orderings must hold beyond the CI overlap for the reproduction to be robust",
+		},
+	}
+
+	for _, name := range names {
+		var bips, over, eff []float64
+		for s := 0; s < nSeeds; s++ {
+			opts := sim.DefaultOptions()
+			opts.Cores = cfg.Cores
+			opts.BudgetW = cfg.BudgetW
+			opts.WarmupS = cfg.WarmupS
+			opts.MeasureS = cfg.MeasureS
+			opts.Seed = cfg.Seed + uint64(s)*1000
+			env, err := sim.EnvFor(opts)
+			if err != nil {
+				return Table{}, err
+			}
+			env.Seed = opts.Seed
+			c, err := sim.NewController(name, env)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := sim.Run(opts, c)
+			if err != nil {
+				return Table{}, err
+			}
+			bips = append(bips, res.Summary.BIPS())
+			over = append(over, res.Summary.OverJ)
+			eff = append(eff, res.Summary.EnergyEff())
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			cell(stats.Mean(bips)), cell(stats.CI95(bips)),
+			cell(stats.Mean(over)), cell(stats.CI95(over)),
+			cell(stats.Mean(eff)), cell(stats.CI95(eff)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// windowRow is one learning-window measurement of a windowed run.
+type windowRow struct {
+	fromS, toS float64
+	meanW      float64
+	overJ      float64
+	overTimeS  float64
+	bips       float64
+}
+
+// windowedRun drives one controller from simulated time zero and reports
+// per-window metrics — the learning-curve harness shared by F6 and F12.
+func windowedRun(cfg Config, c ctrl.Controller, totalS, windowS float64) ([]windowRow, error) {
+	opts := sim.DefaultOptions()
+	opts.Cores = cfg.Cores
+	opts.BudgetW = cfg.BudgetW
+	opts.Seed = cfg.Seed
+	chip, _, err := sim.NewChip(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]int, cfg.Cores)
+	epochs := int(totalS / opts.EpochS)
+	windowEpochs := int(windowS / opts.EpochS)
+	var rows []windowRow
+	var winEnergy, winOverJ, winOverT float64
+	winInstr := chip.Instructions()
+	for e := 0; e < epochs; e++ {
+		tel := chip.Step(opts.EpochS)
+		c.Decide(&tel, cfg.BudgetW, out)
+		for i, l := range out {
+			chip.SetLevel(i, l)
+		}
+		winEnergy += tel.TruePowerW * opts.EpochS
+		if tel.TruePowerW > cfg.BudgetW {
+			winOverJ += (tel.TruePowerW - cfg.BudgetW) * opts.EpochS
+			winOverT += opts.EpochS
+		}
+		if (e+1)%windowEpochs == 0 {
+			rows = append(rows, windowRow{
+				fromS:     float64(e+1-windowEpochs) * opts.EpochS,
+				toS:       float64(e+1) * opts.EpochS,
+				meanW:     winEnergy / windowS,
+				overJ:     winOverJ,
+				overTimeS: winOverT,
+				bips:      (chip.Instructions() - winInstr) / windowS / 1e9,
+			})
+			winEnergy, winOverJ, winOverT = 0, 0, 0
+			winInstr = chip.Instructions()
+		}
+	}
+	return rows, nil
+}
+
+// F6Convergence reproduces the RL learning-curve figure: windowed overshoot,
+// mean power and throughput of OD-RL from a cold start. Overshoot should
+// decay toward zero as exploration anneals while throughput holds.
+func F6Convergence(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	totalS := 10.0
+	windowS := 1.0
+	if cfg.Quick {
+		totalS, windowS = 2.0, 0.25
+	}
+	env := sim.DefaultEnv(cfg.Cores)
+	env.Seed = cfg.Seed
+	c, err := sim.NewController("od-rl", env)
+	if err != nil {
+		return Table{}, err
+	}
+	rows, err := windowedRun(cfg, c, totalS, windowS)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:     "F6",
+		Title:  fmt.Sprintf("OD-RL convergence from cold start at %.0f W", cfg.BudgetW),
+		Header: []string{"window(s)", "mean(W)", "over(J)", "over-time(%)", "BIPS"},
+		Notes:  []string{"one row per learning window; exploration anneals over the run"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f-%.2f", r.fromS, r.toS),
+			cell(r.meanW), cell(r.overJ), cell(100 * r.overTimeS / windowS), cell(r.bips),
+		})
+	}
+	return t, nil
+}
+
+// F7BudgetSweep reproduces the budget-sensitivity figure: throughput and
+// overshoot across cap levels from heavily constrained to unconstrained.
+// Gaps between controllers are largest at tight caps and vanish as the cap
+// approaches the chip's unconstrained draw.
+func F7BudgetSweep(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	budgets := []float64{35, 45, 55, 70, 85, 100, 120}
+	if cfg.Quick {
+		budgets = []float64{45, 85}
+	}
+	names := []string{"od-rl", "maxbips", "pid", "greedy"}
+	if cfg.Quick {
+		names = []string{"od-rl", "pid"}
+	}
+
+	t := Table{
+		ID:     "F7",
+		Title:  "budget sensitivity (mix workload)",
+		Header: []string{"budget(W)"},
+	}
+	for _, n := range names {
+		t.Header = append(t.Header, n+" BIPS", n+" over(J)")
+	}
+
+	for _, b := range budgets {
+		row := []string{cell(b)}
+		for _, name := range names {
+			opts := sim.DefaultOptions()
+			opts.Cores = cfg.Cores
+			opts.BudgetW = b
+			opts.WarmupS = cfg.WarmupS
+			opts.MeasureS = cfg.MeasureS
+			opts.Seed = cfg.Seed
+			env := sim.DefaultEnv(cfg.Cores)
+			env.Seed = cfg.Seed
+			c, err := sim.NewController(name, env)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := sim.Run(opts, c)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, cell(res.Summary.BIPS()), cell(res.Summary.OverJ))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// F8CoreScaling reproduces the system-scalability figure: throughput as the
+// chip grows under a fixed per-core budget. The MaxBIPS knapsack is omitted
+// above 256 cores — its decision latency there is the point of F5, not F8.
+func F8CoreScaling(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	coreCounts := []int{16, 64, 144, 256}
+	if cfg.Quick {
+		coreCounts = []int{16, 36}
+	}
+	names := []string{"od-rl", "steepest-drop", "pid", "greedy"}
+	if cfg.Quick {
+		names = []string{"od-rl", "pid"}
+	}
+	const perCoreW = 0.9
+
+	t := Table{
+		ID:     "F8",
+		Title:  fmt.Sprintf("throughput scaling at %.1f W per core", perCoreW),
+		Header: []string{"cores", "budget(W)"},
+	}
+	for _, n := range names {
+		t.Header = append(t.Header, n+" BIPS", n+" BIPS/core")
+	}
+
+	for _, n := range coreCounts {
+		budget := perCoreW*float64(n) + power.Default().UncoreW
+		row := []string{fmt.Sprintf("%d", n), cell(budget)}
+		for _, name := range names {
+			opts := sim.DefaultOptions()
+			opts.Cores = n
+			opts.BudgetW = budget
+			opts.WarmupS = cfg.WarmupS
+			opts.MeasureS = cfg.MeasureS
+			opts.Seed = cfg.Seed
+			env := sim.DefaultEnv(n)
+			env.Seed = cfg.Seed
+			c, err := sim.NewController(name, env)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := sim.Run(opts, c)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, cell(res.Summary.BIPS()), cell(res.Summary.BIPS()/float64(n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/vf"
+)
+
+// F12WarmStart is an extension experiment: policy persistence. An OD-RL
+// controller is trained once, its per-core Q-tables are saved, and a fresh
+// controller warm-started from that policy is compared window-by-window
+// against a cold start. Warm starting should eliminate the early-window
+// overshoot and throughput ramp — the deployment story for "on-line" RL
+// control surviving reboots.
+func F12WarmStart(cfg Config) (Table, error) {
+	cfg = cfg.normalized()
+	trainS := 8.0
+	totalS := 3.0
+	windowS := 0.5
+	if cfg.Quick {
+		trainS, totalS, windowS = 1.5, 1.0, 0.25
+	}
+
+	newODRL := func() (*core.Controller, error) {
+		c := core.DefaultConfig()
+		c.Seed = cfg.Seed
+		return core.New(cfg.Cores, vf.Default(), power.Default(), c)
+	}
+
+	// Train and save.
+	trained, err := newODRL()
+	if err != nil {
+		return Table{}, err
+	}
+	if _, err := windowedRun(cfg, trained, trainS, trainS); err != nil {
+		return Table{}, err
+	}
+	var policy bytes.Buffer
+	if err := trained.SavePolicy(&policy); err != nil {
+		return Table{}, err
+	}
+
+	// Cold start.
+	cold, err := newODRL()
+	if err != nil {
+		return Table{}, err
+	}
+	coldRows, err := windowedRun(cfg, cold, totalS, windowS)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Warm start: same fresh controller shape, restored tables.
+	warm, err := newODRL()
+	if err != nil {
+		return Table{}, err
+	}
+	if err := warm.LoadPolicy(&policy); err != nil {
+		return Table{}, err
+	}
+	warmRows, err := windowedRun(cfg, warm, totalS, windowS)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		ID:    "F12",
+		Title: fmt.Sprintf("warm start from a saved policy at %.0f W (extension)", cfg.BudgetW),
+		Header: []string{
+			"window(s)", "cold BIPS", "cold over(J)", "warm BIPS", "warm over(J)",
+		},
+		Notes: []string{
+			fmt.Sprintf("policy trained for %.1fs, saved, restored into a fresh controller", trainS),
+			"warm start should match the trained steady state from the first window",
+		},
+	}
+	for i := range coldRows {
+		cr := coldRows[i]
+		wr := warmRows[i]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f-%.2f", cr.fromS, cr.toS),
+			cell(cr.bips), cell(cr.overJ),
+			cell(wr.bips), cell(wr.overJ),
+		})
+	}
+	return t, nil
+}

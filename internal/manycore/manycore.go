@@ -1,0 +1,480 @@
+// Package manycore is the epoch-driven many-core performance simulator that
+// replaces the paper's architectural simulator.
+//
+// Each core runs one workload.Source and sits at one VF operating point.
+// Per control epoch (typically 1 ms) the simulator computes instructions
+// retired from the phase's CPI(f) model, power from the power model (with
+// the thermal model closing the leakage–temperature loop), and produces the
+// telemetry a DVFS controller would read from performance counters and
+// power sensors — optionally corrupted with multiplicative Gaussian sensor
+// noise. DVFS transitions charge a PLL-relock stall during which the core
+// retires nothing and burns leakage only.
+//
+// The simulator is intentionally analytic rather than cycle-accurate: every
+// controller in this repository observes only per-epoch aggregates, so an
+// analytic model that reproduces the aggregate surface (sub-linear
+// frequency scaling, activity-dependent power, thermal inertia) exercises
+// the identical control problem at a fraction of the cost.
+package manycore
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/thermal"
+	"repro/internal/variation"
+	"repro/internal/vf"
+	"repro/internal/workload"
+)
+
+// Config describes one chip.
+type Config struct {
+	// Width and Height give the core grid; core count is Width*Height.
+	Width, Height int
+	// VF is the table of operating points shared by all cores.
+	VF *vf.Table
+	// Power holds the technology power constants.
+	Power power.Params
+	// Thermal holds the RC network constants; only used when ThermalEnabled.
+	Thermal thermal.Params
+	// ThermalEnabled closes the leakage–temperature loop. When false, all
+	// cores are held at Thermal.AmbientK.
+	ThermalEnabled bool
+	// SensorNoise is the relative standard deviation of multiplicative
+	// Gaussian noise applied to IPS/power/mem-boundedness telemetry.
+	// Zero disables noise. True (noise-free) power is still reported
+	// separately for energy accounting.
+	SensorNoise float64
+	// TransitionPenaltyS is the stall charged to a core on a VF change
+	// (PLL relock + voltage ramp), typically ~10 µs.
+	TransitionPenaltyS float64
+	// InitialLevel is the VF level all cores start at.
+	InitialLevel int
+	// Variation optionally applies per-core process-variation multipliers
+	// to leakage and dynamic power; its grid must match Width×Height.
+	// Controllers are never told about it — they only see its effect in
+	// the power telemetry, exactly as on real silicon.
+	Variation *variation.Map
+	// IslandW and IslandH group cores into rectangular voltage-frequency
+	// islands (VFIs) sharing one operating point. Zero means 1 (per-core
+	// DVFS). Each island runs at the highest level requested by any of its
+	// cores — the standard "max request wins" policy of shared voltage
+	// domains. Island dimensions must divide the grid dimensions.
+	IslandW, IslandH int
+	// CoreTypes and TypeOf describe a heterogeneous (big.LITTLE-style)
+	// chip: TypeOf[i] indexes into CoreTypes for core i. Empty CoreTypes
+	// means a homogeneous chip. Controllers are not told core types — as
+	// with variation, telemetry is their only window.
+	CoreTypes []CoreType
+	TypeOf    []int
+}
+
+// CoreType is one microarchitecture in a heterogeneous chip. Multipliers
+// are relative to the nominal core the power/CPI models describe.
+type CoreType struct {
+	Name string
+	// IPCMult scales pipeline throughput: effective base CPI is
+	// BaseCPI / IPCMult. A big out-of-order core has IPCMult > 1.
+	IPCMult float64
+	// CeffMult scales switched capacitance (dynamic power).
+	CeffMult float64
+	// LeakMult scales leakage current (bigger cores leak more).
+	LeakMult float64
+}
+
+// Validate reports the first invalid field.
+func (ct CoreType) Validate() error {
+	switch {
+	case ct.Name == "":
+		return fmt.Errorf("manycore: core type with empty name")
+	case ct.IPCMult <= 0:
+		return fmt.Errorf("manycore: core type %q has non-positive IPCMult %g", ct.Name, ct.IPCMult)
+	case ct.CeffMult <= 0:
+		return fmt.Errorf("manycore: core type %q has non-positive CeffMult %g", ct.Name, ct.CeffMult)
+	case ct.LeakMult <= 0:
+		return fmt.Errorf("manycore: core type %q has non-positive LeakMult %g", ct.Name, ct.LeakMult)
+	}
+	return nil
+}
+
+// BigLittleTypes returns the standard heterogeneous pair used by the F17
+// experiment: a wide out-of-order core and an efficient in-order one.
+func BigLittleTypes() []CoreType {
+	return []CoreType{
+		{Name: "big", IPCMult: 1.4, CeffMult: 1.7, LeakMult: 1.6},
+		{Name: "little", IPCMult: 0.7, CeffMult: 0.45, LeakMult: 0.4},
+	}
+}
+
+// DefaultConfig returns a 64-core (8×8) chip with the default technology
+// models, thermal loop on, 2% sensor noise and a 10 µs transition stall.
+func DefaultConfig() Config {
+	return Config{
+		Width:              8,
+		Height:             8,
+		VF:                 vf.Default(),
+		Power:              power.Default(),
+		Thermal:            thermal.Default(),
+		ThermalEnabled:     true,
+		SensorNoise:        0.02,
+		TransitionPenaltyS: 10e-6,
+		InitialLevel:       0,
+	}
+}
+
+// Validate reports the first invalid configuration field.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0 || c.Height <= 0:
+		return fmt.Errorf("manycore: invalid grid %dx%d", c.Width, c.Height)
+	case c.VF == nil:
+		return fmt.Errorf("manycore: nil VF table")
+	case c.SensorNoise < 0:
+		return fmt.Errorf("manycore: negative sensor noise %g", c.SensorNoise)
+	case c.TransitionPenaltyS < 0:
+		return fmt.Errorf("manycore: negative transition penalty %g", c.TransitionPenaltyS)
+	case c.InitialLevel < 0 || c.InitialLevel >= c.VF.Levels():
+		return fmt.Errorf("manycore: initial level %d out of range", c.InitialLevel)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.ThermalEnabled {
+		if err := c.Thermal.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Variation != nil {
+		if err := c.Variation.Validate(); err != nil {
+			return err
+		}
+		if c.Variation.W != c.Width || c.Variation.H != c.Height {
+			return fmt.Errorf("manycore: variation map is %dx%d, chip is %dx%d",
+				c.Variation.W, c.Variation.H, c.Width, c.Height)
+		}
+	}
+	iw, ih := c.islandDims()
+	if iw < 1 || ih < 1 {
+		return fmt.Errorf("manycore: invalid island dims %dx%d", iw, ih)
+	}
+	if c.Width%iw != 0 || c.Height%ih != 0 {
+		return fmt.Errorf("manycore: island %dx%d does not tile grid %dx%d",
+			iw, ih, c.Width, c.Height)
+	}
+	if len(c.CoreTypes) > 0 {
+		for _, ct := range c.CoreTypes {
+			if err := ct.Validate(); err != nil {
+				return err
+			}
+		}
+		if len(c.TypeOf) != c.Width*c.Height {
+			return fmt.Errorf("manycore: TypeOf has %d entries for %d cores",
+				len(c.TypeOf), c.Width*c.Height)
+		}
+		for i, ty := range c.TypeOf {
+			if ty < 0 || ty >= len(c.CoreTypes) {
+				return fmt.Errorf("manycore: core %d has type %d of %d", i, ty, len(c.CoreTypes))
+			}
+		}
+	} else if len(c.TypeOf) != 0 {
+		return fmt.Errorf("manycore: TypeOf set without CoreTypes")
+	}
+	return nil
+}
+
+// islandDims returns the island tile size with zeros defaulted to 1.
+func (c Config) islandDims() (int, int) {
+	iw, ih := c.IslandW, c.IslandH
+	if iw == 0 {
+		iw = 1
+	}
+	if ih == 0 {
+		ih = 1
+	}
+	return iw, ih
+}
+
+// CoreTelemetry is what the control plane observes about one core after an
+// epoch. IPS, PowerW and MemBoundedness carry sensor noise when configured;
+// Instructions is the true retired count (used only for metrics, never by
+// controllers).
+type CoreTelemetry struct {
+	Level          int
+	FreqHz         float64
+	VoltageV       float64
+	IPS            float64
+	PowerW         float64
+	TempK          float64
+	MemBoundedness float64
+	Instructions   float64
+	PhaseChanged   bool
+}
+
+// Telemetry is the chip-level epoch report.
+type Telemetry struct {
+	// TimeS is cumulative simulated time at the end of the epoch.
+	TimeS float64
+	// EpochS is the epoch length.
+	EpochS float64
+	// ChipPowerW is the observed (noisy) total chip power.
+	ChipPowerW float64
+	// TruePowerW is the exact total chip power, for energy accounting.
+	TruePowerW float64
+	// Cores holds per-core observations.
+	Cores []CoreTelemetry
+}
+
+// Chip is one simulated many-core processor.
+type Chip struct {
+	cfg          Config
+	sources      []workload.Source
+	requested    []int // per-core level requests from the controller
+	levels       []int // effective levels after island resolution
+	transitioned []bool
+	therm        *thermal.Model
+	noise        *rng.RNG
+
+	timeS       float64
+	energyJ     float64
+	instrTotal  float64
+	instrByCore []float64
+
+	// scratch buffers reused across epochs
+	corePowerW []float64
+	temps      []float64
+}
+
+// New builds a chip running the given per-core workload sources. The number
+// of sources must equal Width*Height. The RNG seeds the sensor-noise stream.
+func New(cfg Config, sources []workload.Source, r *rng.RNG) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Width * cfg.Height
+	if len(sources) != n {
+		return nil, fmt.Errorf("manycore: %d sources for %d cores", len(sources), n)
+	}
+	for i, s := range sources {
+		if s == nil {
+			return nil, fmt.Errorf("manycore: nil source for core %d", i)
+		}
+	}
+	if r == nil {
+		return nil, fmt.Errorf("manycore: nil rng")
+	}
+	c := &Chip{
+		cfg:          cfg,
+		sources:      sources,
+		requested:    make([]int, n),
+		levels:       make([]int, n),
+		transitioned: make([]bool, n),
+		noise:        r,
+		instrByCore:  make([]float64, n),
+		corePowerW:   make([]float64, n),
+		temps:        make([]float64, n),
+	}
+	for i := range c.levels {
+		c.levels[i] = cfg.InitialLevel
+		c.requested[i] = cfg.InitialLevel
+	}
+	if cfg.ThermalEnabled {
+		var err error
+		c.therm, err = thermal.New(cfg.Width, cfg.Height, cfg.Thermal)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.temps {
+		c.temps[i] = cfg.Thermal.AmbientK
+	}
+	return c, nil
+}
+
+// NumCores returns the core count.
+func (c *Chip) NumCores() int { return len(c.levels) }
+
+// Config returns the chip's configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Level returns core i's current effective VF level (after island
+// resolution).
+func (c *Chip) Level(core int) int { return c.levels[core] }
+
+// SetLevel requests the given VF level for core i. The request takes
+// effect at the next epoch boundary; when cores share a voltage-frequency
+// island, the island runs at the highest level requested by any member.
+// Out-of-range levels panic: emitting them is a controller bug that must
+// not be silently absorbed.
+func (c *Chip) SetLevel(core, level int) {
+	if level < 0 || level >= c.cfg.VF.Levels() {
+		panic(fmt.Sprintf("manycore: level %d out of range [0,%d)", level, c.cfg.VF.Levels()))
+	}
+	c.requested[core] = level
+}
+
+// resolveIslands applies the pending requests: each island takes the max
+// requested level of its cores; a core whose effective level changes is
+// charged a transition stall for the coming epoch.
+func (c *Chip) resolveIslands() {
+	iw, ih := c.cfg.islandDims()
+	for y0 := 0; y0 < c.cfg.Height; y0 += ih {
+		for x0 := 0; x0 < c.cfg.Width; x0 += iw {
+			max := 0
+			for dy := 0; dy < ih; dy++ {
+				for dx := 0; dx < iw; dx++ {
+					if r := c.requested[(y0+dy)*c.cfg.Width+x0+dx]; r > max {
+						max = r
+					}
+				}
+			}
+			for dy := 0; dy < ih; dy++ {
+				for dx := 0; dx < iw; dx++ {
+					i := (y0+dy)*c.cfg.Width + x0 + dx
+					if c.levels[i] != max {
+						c.levels[i] = max
+						c.transitioned[i] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TimeS returns cumulative simulated seconds.
+func (c *Chip) TimeS() float64 { return c.timeS }
+
+// EnergyJ returns cumulative true chip energy in joules.
+func (c *Chip) EnergyJ() float64 { return c.energyJ }
+
+// Instructions returns cumulative instructions retired across all cores.
+func (c *Chip) Instructions() float64 { return c.instrTotal }
+
+// CoreInstructions returns cumulative instructions retired by one core.
+func (c *Chip) CoreInstructions(core int) float64 { return c.instrByCore[core] }
+
+// MaxTempK returns the hottest core temperature (ambient when the thermal
+// loop is disabled).
+func (c *Chip) MaxTempK() float64 {
+	if c.therm == nil {
+		return c.cfg.Thermal.AmbientK
+	}
+	return c.therm.MaxTemp()
+}
+
+// observed applies multiplicative sensor noise to a true value.
+func (c *Chip) observed(v float64) float64 {
+	if c.cfg.SensorNoise == 0 {
+		return v
+	}
+	o := v * (1 + c.cfg.SensorNoise*c.noise.NormFloat64())
+	if o < 0 {
+		o = 0
+	}
+	return o
+}
+
+// Step advances the chip by dt seconds and returns the epoch telemetry.
+// Phase parameters are sampled at the start of the epoch, matching the
+// granularity at which real performance counters are read.
+func (c *Chip) Step(dt float64) Telemetry {
+	if dt <= 0 {
+		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))
+	}
+	c.resolveIslands()
+	n := c.NumCores()
+	tel := Telemetry{EpochS: dt, Cores: make([]CoreTelemetry, n)}
+
+	for i := 0; i < n; i++ {
+		ph := c.sources[i].Phase()
+		op := c.cfg.VF.Point(c.levels[i])
+		temp := c.temps[i]
+
+		stall := 0.0
+		if c.transitioned[i] {
+			stall = c.cfg.TransitionPenaltyS
+			if stall > dt {
+				stall = dt
+			}
+			c.transitioned[i] = false
+		}
+		active := dt - stall
+
+		// Process variation scales this core's achievable frequency
+		// (critical-path spread) and its two power components.
+		leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
+		if v := c.cfg.Variation; v != nil {
+			leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
+		}
+		// Heterogeneous chips compose core-type multipliers on top:
+		// a big core retires more per cycle and burns more per switch.
+		if len(c.cfg.CoreTypes) > 0 {
+			ct := c.cfg.CoreTypes[c.cfg.TypeOf[i]]
+			ph.BaseCPI /= ct.IPCMult
+			dynMult *= ct.CeffMult
+			leakMult *= ct.LeakMult
+		}
+		freq := op.FreqHz * freqMult
+
+		ips := ph.IPSAt(freq)
+		instr := ips * active
+
+		// Power: full during the active window, leakage-only during the
+		// stall (clocks gated while the PLL relocks).
+		pDyn := c.cfg.Power.DynamicW(op.VoltageV, freq, ph.Activity) * dynMult
+		pLeak := c.cfg.Power.LeakageW(op.VoltageV, temp) * leakMult
+		pActive := pDyn + pLeak
+		pStall := pLeak
+		avgP := (pActive*active + pStall*stall) / dt
+		c.corePowerW[i] = avgP
+
+		// Work-coupled sources (barrier apps) progress by retired
+		// instructions, so a throttled core genuinely takes longer to
+		// reach its barrier.
+		var changed bool
+		if ws, ok := c.sources[i].(workload.WorkSource); ok {
+			changed = ws.AdvanceWork(dt, instr) > 0
+		} else {
+			changed = c.sources[i].Advance(dt) > 0
+		}
+
+		c.instrByCore[i] += instr
+		c.instrTotal += instr
+
+		tel.Cores[i] = CoreTelemetry{
+			Level:          c.levels[i],
+			FreqHz:         freq,
+			VoltageV:       op.VoltageV,
+			IPS:            c.observed(instr / dt),
+			PowerW:         c.observed(avgP),
+			TempK:          temp,
+			MemBoundedness: clamp01(c.observed(ph.MemBoundednessAt(freq))),
+			Instructions:   instr,
+			PhaseChanged:   changed,
+		}
+	}
+
+	truePower := c.cfg.Power.ChipW(c.corePowerW)
+	c.energyJ += truePower * dt
+	c.timeS += dt
+
+	if c.therm != nil {
+		c.therm.Step(c.corePowerW, dt)
+		c.therm.Temps(c.temps)
+	}
+
+	tel.TimeS = c.timeS
+	tel.TruePowerW = truePower
+	tel.ChipPowerW = c.observed(truePower)
+	return tel
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,519 @@
+package manycore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// steadySource is a Source pinned to one phase forever.
+type steadySource struct{ ph workload.Phase }
+
+func (s steadySource) Phase() workload.Phase { return s.ph }
+func (s steadySource) Advance(float64) int   { return 0 }
+func (s steadySource) PhaseIndex() int       { return 0 }
+
+func computeSource() workload.Source {
+	return steadySource{workload.Phase{
+		Class: workload.Compute, BaseCPI: 0.8, MPKI: 0, MemLatencyNs: 80, Activity: 1.0,
+	}}
+}
+
+func memorySource() workload.Source {
+	return steadySource{workload.Phase{
+		Class: workload.Memory, BaseCPI: 1.0, MPKI: 20, MemLatencyNs: 80, Activity: 0.4,
+	}}
+}
+
+func testConfig(w, h int) Config {
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	cfg.SensorNoise = 0
+	cfg.ThermalEnabled = false
+	return cfg
+}
+
+func newTestChip(t *testing.T, cfg Config, src func() workload.Source) *Chip {
+	t.Helper()
+	sources := make([]workload.Source, cfg.Width*cfg.Height)
+	for i := range sources {
+		sources[i] = src()
+	}
+	c, err := New(cfg, sources, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig(2, 2)
+	if _, err := New(cfg, make([]workload.Source, 3), rng.New(1)); err == nil {
+		t.Fatal("expected error for wrong source count")
+	}
+	if _, err := New(cfg, make([]workload.Source, 4), rng.New(1)); err == nil {
+		t.Fatal("expected error for nil sources")
+	}
+	srcs := []workload.Source{computeSource(), computeSource(), computeSource(), computeSource()}
+	if _, err := New(cfg, srcs, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := New(bad, srcs, rng.New(1)); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	bad = cfg
+	bad.InitialLevel = 99
+	if _, err := New(bad, srcs, rng.New(1)); err == nil {
+		t.Fatal("expected error for bad initial level")
+	}
+	bad = cfg
+	bad.VF = nil
+	if _, err := New(bad, srcs, rng.New(1)); err == nil {
+		t.Fatal("expected error for nil VF table")
+	}
+}
+
+func TestInstructionAccountingComputeBound(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.InitialLevel = cfg.VF.Levels() - 1
+	chip := newTestChip(t, cfg, computeSource)
+	tel := chip.Step(0.001)
+	// Compute-bound: IPS = f / 0.8 exactly, no stalls, no noise.
+	f := cfg.VF.Max().FreqHz
+	wantIPS := f / 0.8
+	for i, ct := range tel.Cores {
+		if math.Abs(ct.IPS-wantIPS)/wantIPS > 1e-9 {
+			t.Fatalf("core %d IPS = %v, want %v", i, ct.IPS, wantIPS)
+		}
+	}
+	wantInstr := wantIPS * 0.001 * 4
+	if math.Abs(chip.Instructions()-wantInstr)/wantInstr > 1e-9 {
+		t.Fatalf("total instructions = %v, want %v", chip.Instructions(), wantInstr)
+	}
+}
+
+func TestFrequencyScalingShape(t *testing.T) {
+	// Compute-bound IPS scales ~linearly with f; memory-bound much less.
+	cfg := testConfig(1, 1)
+	lowCfg := cfg
+	lowCfg.InitialLevel = 0
+	highCfg := cfg
+	highCfg.InitialLevel = cfg.VF.Levels() - 1
+
+	run := func(cfg Config, src func() workload.Source) float64 {
+		chip := newTestChip(t, cfg, src)
+		return chip.Step(0.001).Cores[0].IPS
+	}
+	fRatio := cfg.VF.Max().FreqHz / cfg.VF.Min().FreqHz
+
+	compRatio := run(highCfg, computeSource) / run(lowCfg, computeSource)
+	if math.Abs(compRatio-fRatio) > 1e-6 {
+		t.Fatalf("compute-bound speedup %v, want %v", compRatio, fRatio)
+	}
+	memRatio := run(highCfg, memorySource) / run(lowCfg, memorySource)
+	if memRatio >= 0.7*fRatio {
+		t.Fatalf("memory-bound speedup %v should be well below %v", memRatio, fRatio)
+	}
+	if memRatio <= 1 {
+		t.Fatal("memory-bound workload must still speed up with frequency")
+	}
+}
+
+func TestPowerIncreasesWithLevel(t *testing.T) {
+	cfg := testConfig(2, 2)
+	var prev float64
+	for lvl := 0; lvl < cfg.VF.Levels(); lvl++ {
+		c := cfg
+		c.InitialLevel = lvl
+		chip := newTestChip(t, c, computeSource)
+		tel := chip.Step(0.001)
+		if lvl > 0 && tel.TruePowerW <= prev {
+			t.Fatalf("power at level %d (%v W) not above level %d (%v W)",
+				lvl, tel.TruePowerW, lvl-1, prev)
+		}
+		prev = tel.TruePowerW
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := testConfig(2, 2)
+	chip := newTestChip(t, cfg, computeSource)
+	var sum float64
+	for i := 0; i < 10; i++ {
+		tel := chip.Step(0.001)
+		sum += tel.TruePowerW * 0.001
+	}
+	if math.Abs(chip.EnergyJ()-sum) > 1e-12 {
+		t.Fatalf("EnergyJ = %v, want %v", chip.EnergyJ(), sum)
+	}
+	if math.Abs(chip.TimeS()-0.010) > 1e-12 {
+		t.Fatalf("TimeS = %v, want 0.010", chip.TimeS())
+	}
+}
+
+func TestTransitionPenalty(t *testing.T) {
+	cfg := testConfig(1, 1)
+	cfg.TransitionPenaltyS = 100e-6
+	chip := newTestChip(t, cfg, computeSource)
+	base := chip.Step(0.001).Cores[0].Instructions
+
+	chip.SetLevel(0, 0) // same level: no transition
+	same := chip.Step(0.001).Cores[0].Instructions
+	if math.Abs(same-base) > 1e-9 {
+		t.Fatal("same-level SetLevel must not charge a stall")
+	}
+
+	chip.SetLevel(0, 1)
+	chip.SetLevel(0, 0) // request undone before the epoch boundary: no actuation
+	undone := chip.Step(0.001).Cores[0].Instructions
+	if math.Abs(undone-base) > 1e-9 {
+		t.Fatal("an undone request must not charge a stall")
+	}
+
+	chip.SetLevel(0, 1) // actual transition at the next boundary
+	chip.Step(0.001)    // epoch at level 1 with the stall
+	chip.SetLevel(0, 0) // transition back
+	stalled := chip.Step(0.001).Cores[0].Instructions
+	want := base * (0.001 - 100e-6) / 0.001
+	if math.Abs(stalled-want)/want > 1e-9 {
+		t.Fatalf("stalled epoch retired %v instructions, want %v", stalled, want)
+	}
+
+	// Next epoch is clean again.
+	clean := chip.Step(0.001).Cores[0].Instructions
+	if math.Abs(clean-base) > 1e-9 {
+		t.Fatal("stall leaked into the following epoch")
+	}
+}
+
+func TestIslandMaxRequestWins(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.IslandW, cfg.IslandH = 2, 2
+	chip := newTestChip(t, cfg, computeSource)
+	// Within the top-left 2x2 island (cores 0,1,4,5), one core asks for
+	// level 5; the whole island must run at 5.
+	chip.SetLevel(0, 5)
+	chip.SetLevel(1, 2)
+	tel := chip.Step(0.001)
+	for _, i := range []int{0, 1, 4, 5} {
+		if tel.Cores[i].Level != 5 {
+			t.Fatalf("island core %d at level %d, want 5", i, tel.Cores[i].Level)
+		}
+	}
+	// Cores outside the island stay at the initial level.
+	if tel.Cores[2].Level != cfg.InitialLevel {
+		t.Fatalf("non-island core moved to %d", tel.Cores[2].Level)
+	}
+}
+
+func TestIslandValidation(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.IslandW, cfg.IslandH = 3, 2 // 3 does not divide 4
+	sources := make([]workload.Source, 16)
+	for i := range sources {
+		sources[i] = computeSource()
+	}
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for non-tiling island")
+	}
+	cfg.IslandW, cfg.IslandH = -1, 1
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for negative island dims")
+	}
+}
+
+func TestChipWideIslandUniform(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.IslandW, cfg.IslandH = 4, 4
+	chip := newTestChip(t, cfg, computeSource)
+	for i := 0; i < 16; i++ {
+		chip.SetLevel(i, i%3) // scattered requests; max is 2
+	}
+	tel := chip.Step(0.001)
+	for i, ct := range tel.Cores {
+		if ct.Level != 2 {
+			t.Fatalf("core %d at level %d, want chip-wide max 2", i, ct.Level)
+		}
+	}
+}
+
+func TestSetLevelPanicsOutOfRange(t *testing.T) {
+	chip := newTestChip(t, testConfig(1, 1), computeSource)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	chip.SetLevel(0, 99)
+}
+
+func TestStepPanicsOnNonPositiveDt(t *testing.T) {
+	chip := newTestChip(t, testConfig(1, 1), computeSource)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	chip.Step(0)
+}
+
+func TestThermalLoopHeatsAndRaisesLeakage(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.ThermalEnabled = true
+	cfg.InitialLevel = cfg.VF.Levels() - 1
+	chip := newTestChip(t, cfg, computeSource)
+	first := chip.Step(0.001)
+	for i := 0; i < 2000; i++ {
+		chip.Step(0.001)
+	}
+	last := chip.Step(0.001)
+	if chip.MaxTempK() <= cfg.Thermal.AmbientK+5 {
+		t.Fatalf("max temp %v barely above ambient after 2 s at full power", chip.MaxTempK())
+	}
+	if last.TruePowerW <= first.TruePowerW {
+		t.Fatalf("leakage-temperature loop missing: power %v -> %v", first.TruePowerW, last.TruePowerW)
+	}
+	if last.Cores[0].TempK <= first.Cores[0].TempK {
+		t.Fatal("core telemetry temperature did not rise")
+	}
+}
+
+func TestThermalDisabledHoldsAmbient(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.InitialLevel = cfg.VF.Levels() - 1
+	chip := newTestChip(t, cfg, computeSource)
+	for i := 0; i < 100; i++ {
+		chip.Step(0.001)
+	}
+	if chip.MaxTempK() != cfg.Thermal.AmbientK {
+		t.Fatal("disabled thermal loop must hold ambient")
+	}
+}
+
+func TestSensorNoiseObservedOnly(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.SensorNoise = 0.1
+	chip := newTestChip(t, cfg, computeSource)
+	sawDiff := false
+	var trueEnergy float64
+	for i := 0; i < 50; i++ {
+		tel := chip.Step(0.001)
+		trueEnergy += tel.TruePowerW * 0.001
+		if math.Abs(tel.ChipPowerW-tel.TruePowerW) > 1e-9 {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("sensor noise never perturbed observed power")
+	}
+	if math.Abs(chip.EnergyJ()-trueEnergy) > 1e-9 {
+		t.Fatal("energy accounting must use true power, not observed")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	mk := func() *Chip {
+		cfg := testConfig(4, 4)
+		cfg.SensorNoise = 0.05
+		cfg.ThermalEnabled = true
+		sources := make([]workload.Source, 16)
+		base := rng.New(99)
+		for i := range sources {
+			p, err := workload.NewProcess(workload.MustPreset("bodytrack"), base.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sources[i] = p
+		}
+		c, err := New(cfg, sources, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ta := a.Step(0.001)
+		tb := b.Step(0.001)
+		if ta.TruePowerW != tb.TruePowerW || ta.ChipPowerW != tb.ChipPowerW {
+			t.Fatalf("same-seed chips diverged at epoch %d", i)
+		}
+	}
+	if a.Instructions() != b.Instructions() {
+		t.Fatal("instruction totals diverged")
+	}
+}
+
+func TestMemBoundednessTelemetry(t *testing.T) {
+	cfg := testConfig(1, 1)
+	cfg.InitialLevel = cfg.VF.Levels() - 1
+	memChip := newTestChip(t, cfg, memorySource)
+	compChip := newTestChip(t, cfg, computeSource)
+	mb := memChip.Step(0.001).Cores[0].MemBoundedness
+	cb := compChip.Step(0.001).Cores[0].MemBoundedness
+	if mb <= 0.5 {
+		t.Fatalf("memory-bound telemetry = %v, want > 0.5", mb)
+	}
+	if cb != 0 {
+		t.Fatalf("compute-bound telemetry = %v, want 0", cb)
+	}
+}
+
+func TestPhaseChangedFlag(t *testing.T) {
+	spec := workload.Spec{
+		Name: "flip",
+		Phases: []workload.PhaseSpec{
+			{Phase: workload.Phase{BaseCPI: 1, Activity: 0.5, MemLatencyNs: 80}, MeanDurS: 0.0015, DurJitter: 0},
+			{Phase: workload.Phase{BaseCPI: 2, Activity: 0.5, MemLatencyNs: 80}, MeanDurS: 0.0015, DurJitter: 0},
+		},
+		Transitions: [][]float64{{0, 1}, {1, 0}},
+	}
+	p, err := workload.NewProcess(spec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1, 1)
+	chip, err := New(cfg, []workload.Source{p}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase flips at t=1.5ms: first epoch no change, second epoch change.
+	if chip.Step(0.001).Cores[0].PhaseChanged {
+		t.Fatal("no phase change expected in first 1 ms")
+	}
+	if !chip.Step(0.001).Cores[0].PhaseChanged {
+		t.Fatal("phase change expected in second 1 ms")
+	}
+}
+
+func TestCoreInstructionsPerCore(t *testing.T) {
+	cfg := testConfig(2, 1)
+	sources := []workload.Source{computeSource(), memorySource()}
+	chip, err := New(cfg, sources, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.Step(0.001)
+	if chip.CoreInstructions(0) <= chip.CoreInstructions(1) {
+		t.Fatal("compute-bound core should retire more than memory-bound at equal f")
+	}
+	total := chip.CoreInstructions(0) + chip.CoreInstructions(1)
+	if math.Abs(total-chip.Instructions()) > 1e-9 {
+		t.Fatal("per-core totals do not sum to chip total")
+	}
+}
+
+func BenchmarkStep64(b *testing.B) {
+	cfg := testConfig(8, 8)
+	cfg.ThermalEnabled = true
+	sources := make([]workload.Source, 64)
+	base := rng.New(1)
+	for i := range sources {
+		p, _ := workload.NewProcess(workload.MustPreset("ferret"), base.Split())
+		sources[i] = p
+	}
+	chip, _ := New(cfg, sources, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step(0.001)
+	}
+}
+
+func TestCoreTypeValidate(t *testing.T) {
+	for _, ct := range BigLittleTypes() {
+		if err := ct.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := []CoreType{
+		{Name: "", IPCMult: 1, CeffMult: 1, LeakMult: 1},
+		{Name: "x", IPCMult: 0, CeffMult: 1, LeakMult: 1},
+		{Name: "x", IPCMult: 1, CeffMult: 0, LeakMult: 1},
+		{Name: "x", IPCMult: 1, CeffMult: 1, LeakMult: -1},
+	}
+	for i, ct := range bad {
+		if err := ct.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestHeterogeneousConfigValidation(t *testing.T) {
+	cfg := testConfig(2, 2)
+	sources := make([]workload.Source, 4)
+	for i := range sources {
+		sources[i] = computeSource()
+	}
+	// TypeOf without CoreTypes.
+	cfg.TypeOf = []int{0, 0, 0, 0}
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for TypeOf without CoreTypes")
+	}
+	// Wrong TypeOf length.
+	cfg.CoreTypes = BigLittleTypes()
+	cfg.TypeOf = []int{0, 1}
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for short TypeOf")
+	}
+	// Out-of-range type index.
+	cfg.TypeOf = []int{0, 1, 2, 0}
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for bad type index")
+	}
+	// Invalid type itself.
+	cfg.TypeOf = []int{0, 1, 0, 1}
+	cfg.CoreTypes = []CoreType{{Name: "", IPCMult: 1, CeffMult: 1, LeakMult: 1}, BigLittleTypes()[1]}
+	if _, err := New(cfg, sources, rng.New(1)); err == nil {
+		t.Fatal("expected error for invalid core type")
+	}
+}
+
+func TestHeterogeneousBigOutperformsLittle(t *testing.T) {
+	cfg := testConfig(2, 1)
+	cfg.CoreTypes = BigLittleTypes()
+	cfg.TypeOf = []int{0, 1} // core 0 big, core 1 little
+	sources := []workload.Source{computeSource(), computeSource()}
+	chip, err := New(cfg, sources, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := chip.Step(0.001)
+	if tel.Cores[0].Instructions <= tel.Cores[1].Instructions {
+		t.Fatalf("big core retired %v, little %v — big must win",
+			tel.Cores[0].Instructions, tel.Cores[1].Instructions)
+	}
+	if tel.Cores[0].PowerW <= tel.Cores[1].PowerW {
+		t.Fatalf("big core power %v not above little %v",
+			tel.Cores[0].PowerW, tel.Cores[1].PowerW)
+	}
+	// IPC ratio at equal frequency equals the IPCMult ratio for pure
+	// compute phases.
+	ratio := tel.Cores[0].Instructions / tel.Cores[1].Instructions
+	want := BigLittleTypes()[0].IPCMult / BigLittleTypes()[1].IPCMult
+	if math.Abs(ratio-want)/want > 1e-9 {
+		t.Fatalf("IPC ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestChipConfigAndLevelAccessors(t *testing.T) {
+	cfg := testConfig(2, 2)
+	chip := newTestChip(t, cfg, computeSource)
+	if got := chip.Config().Width; got != 2 {
+		t.Fatalf("Config().Width = %d", got)
+	}
+	chip.SetLevel(1, 3)
+	chip.Step(0.001)
+	if chip.Level(1) != 3 {
+		t.Fatalf("Level(1) = %d, want 3", chip.Level(1))
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-0.5) != 0 || clamp01(1.5) != 1 || clamp01(0.25) != 0.25 {
+		t.Fatal("clamp01 wrong")
+	}
+}

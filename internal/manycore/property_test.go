@@ -1,0 +1,215 @@
+package manycore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/variation"
+	"repro/internal/workload"
+)
+
+// Property: for arbitrary level sequences, the chip's cumulative energy
+// equals the sum of per-epoch power×dt, and every telemetry field stays
+// physical (non-negative, in range).
+func TestQuickChipInvariants(t *testing.T) {
+	f := func(seed uint64, levelsRaw []uint8) bool {
+		cfg := testConfig(3, 3)
+		cfg.ThermalEnabled = true
+		cfg.SensorNoise = 0.05
+		sources := make([]workload.Source, 9)
+		base := rng.New(seed)
+		for i := range sources {
+			p, err := workload.NewProcess(workload.MustPreset("ferret"), base.Split())
+			if err != nil {
+				return false
+			}
+			sources[i] = p
+		}
+		chip, err := New(cfg, sources, base.Split())
+		if err != nil {
+			return false
+		}
+		var energy float64
+		steps := len(levelsRaw)
+		if steps > 50 {
+			steps = 50
+		}
+		for s := 0; s < steps; s++ {
+			for i := 0; i < 9; i++ {
+				chip.SetLevel(i, int(levelsRaw[(s+i)%len(levelsRaw)])%cfg.VF.Levels())
+			}
+			tel := chip.Step(1e-3)
+			energy += tel.TruePowerW * 1e-3
+			if tel.TruePowerW <= 0 || math.IsNaN(tel.TruePowerW) {
+				return false
+			}
+			for _, ct := range tel.Cores {
+				if ct.Level < 0 || ct.Level >= cfg.VF.Levels() {
+					return false
+				}
+				if ct.IPS < 0 || ct.PowerW < 0 || ct.Instructions < 0 {
+					return false
+				}
+				if ct.MemBoundedness < 0 || ct.MemBoundedness > 1 {
+					return false
+				}
+				if ct.TempK < cfg.Thermal.AmbientK-1e-9 {
+					return false
+				}
+			}
+		}
+		return math.Abs(chip.EnergyJ()-energy) < 1e-9*math.Max(1, energy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: instructions retired are monotone non-decreasing over time and
+// the per-core totals always sum to the chip total.
+func TestQuickInstructionAccounting(t *testing.T) {
+	f := func(seed uint64, nSteps uint8) bool {
+		cfg := testConfig(2, 2)
+		sources := make([]workload.Source, 4)
+		base := rng.New(seed)
+		for i := range sources {
+			p, err := workload.NewProcess(workload.MustPreset("vips"), base.Split())
+			if err != nil {
+				return false
+			}
+			sources[i] = p
+		}
+		chip, err := New(cfg, sources, base.Split())
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for s := 0; s < int(nSteps%40)+1; s++ {
+			chip.Step(1e-3)
+			total := chip.Instructions()
+			if total < prev {
+				return false
+			}
+			prev = total
+			sum := 0.0
+			for i := 0; i < 4; i++ {
+				sum += chip.CoreInstructions(i)
+			}
+			if math.Abs(sum-total) > 1e-6*math.Max(1, total) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: island resolution is idempotent — once an epoch has run, a
+// second epoch with unchanged requests must charge no further transitions
+// (observable as equal instruction counts in back-to-back epochs under a
+// steady phase).
+func TestQuickIslandResolutionStable(t *testing.T) {
+	f := func(reqRaw []uint8) bool {
+		if len(reqRaw) == 0 {
+			return true
+		}
+		cfg := testConfig(4, 4)
+		cfg.IslandW, cfg.IslandH = 2, 2
+		cfg.TransitionPenaltyS = 100e-6
+		sources := make([]workload.Source, 16)
+		for i := range sources {
+			sources[i] = steadySource{workload.Phase{
+				Class: workload.Compute, BaseCPI: 0.8, MemLatencyNs: 80, Activity: 1,
+			}}
+		}
+		chip, err := New(cfg, sources, rng.New(1))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			chip.SetLevel(i, int(reqRaw[i%len(reqRaw)])%cfg.VF.Levels())
+		}
+		chip.Step(1e-3) // transitions happen here
+		a := chip.Step(1e-3).Cores
+		b := chip.Step(1e-3).Cores
+		for i := range a {
+			if a[i].Instructions != b[i].Instructions {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Variation must shift power but never break accounting: two chips that
+// differ only in their variation map retire identical instructions when
+// FreqSigma is zero, and the leakier die burns more energy at idle levels.
+func TestVariationEnergyOrdering(t *testing.T) {
+	mkChip := func(leakMult float64) *Chip {
+		cfg := testConfig(2, 2)
+		m := variation.Uniform(2, 2)
+		for i := range m.LeakMult {
+			m.LeakMult[i] = leakMult
+		}
+		cfg.Variation = m
+		sources := make([]workload.Source, 4)
+		for i := range sources {
+			sources[i] = computeSource()
+		}
+		chip, err := New(cfg, sources, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chip
+	}
+	nominal := mkChip(1.0)
+	leaky := mkChip(1.5)
+	for s := 0; s < 20; s++ {
+		nominal.Step(1e-3)
+		leaky.Step(1e-3)
+	}
+	if leaky.EnergyJ() <= nominal.EnergyJ() {
+		t.Fatalf("leaky die energy %v not above nominal %v", leaky.EnergyJ(), nominal.EnergyJ())
+	}
+	if leaky.Instructions() != nominal.Instructions() {
+		t.Fatal("leakage variation must not change instruction counts")
+	}
+}
+
+// Frequency variation must shift performance: a slow die retires fewer
+// instructions at the same level.
+func TestFrequencyVariationShiftsPerformance(t *testing.T) {
+	mkChip := func(freqMult float64) *Chip {
+		cfg := testConfig(2, 2)
+		m := variation.Uniform(2, 2)
+		for i := range m.FreqMult {
+			m.FreqMult[i] = freqMult
+		}
+		cfg.Variation = m
+		sources := make([]workload.Source, 4)
+		for i := range sources {
+			sources[i] = computeSource()
+		}
+		chip, err := New(cfg, sources, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chip
+	}
+	fast := mkChip(1.05)
+	slow := mkChip(0.95)
+	for s := 0; s < 10; s++ {
+		fast.Step(1e-3)
+		slow.Step(1e-3)
+	}
+	if slow.Instructions() >= fast.Instructions() {
+		t.Fatalf("slow die retired %v, fast die %v", slow.Instructions(), fast.Instructions())
+	}
+}

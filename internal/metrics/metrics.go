@@ -1,0 +1,100 @@
+// Package metrics defines the evaluation quantities the paper reports:
+// budget-overshoot integral, throughput, throughput per over-the-budget
+// energy (abstract claim C2), and energy efficiency (claim C3).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary aggregates one measured run of one controller on one workload.
+type Summary struct {
+	Controller string
+	Workload   string
+	Cores      int
+	BudgetW    float64
+	DurS       float64
+	// Instr is total instructions retired during the measurement window.
+	Instr float64
+	// EnergyJ is total chip energy over the window.
+	EnergyJ float64
+	// OverJ is the overshoot integral: energy accumulated above the budget.
+	OverJ float64
+	// OverTimeS is time spent above the budget.
+	OverTimeS float64
+	PeakW     float64
+	MeanW     float64
+	// MaxTempK is the hottest observed core temperature.
+	MaxTempK float64
+	// CtrlTimeS is wall-clock time the controller spent deciding.
+	CtrlTimeS float64
+	// CommEnergyJ and CommLatencyS are modelled NoC control-traffic costs
+	// over the window.
+	CommEnergyJ  float64
+	CommLatencyS float64
+}
+
+// Validate reports the first inconsistent field.
+func (s Summary) Validate() error {
+	switch {
+	case s.DurS <= 0:
+		return fmt.Errorf("metrics: non-positive duration %g", s.DurS)
+	case s.Instr < 0:
+		return fmt.Errorf("metrics: negative instruction count %g", s.Instr)
+	case s.EnergyJ < 0:
+		return fmt.Errorf("metrics: negative energy %g", s.EnergyJ)
+	case s.OverJ < 0:
+		return fmt.Errorf("metrics: negative overshoot %g", s.OverJ)
+	case s.OverJ > s.EnergyJ+1e-9:
+		return fmt.Errorf("metrics: overshoot %g exceeds energy %g", s.OverJ, s.EnergyJ)
+	case s.OverTimeS > s.DurS+1e-9:
+		return fmt.Errorf("metrics: over-budget time %g exceeds duration %g", s.OverTimeS, s.DurS)
+	}
+	return nil
+}
+
+// BIPS returns billions of instructions per second over the window.
+func (s Summary) BIPS() float64 { return s.Instr / s.DurS / 1e9 }
+
+// OvershootNorm returns the overshoot integral normalised by the total
+// budgeted energy (budget × duration): a dimensionless severity in [0, ∞).
+func (s Summary) OvershootNorm() float64 {
+	if s.BudgetW <= 0 || s.DurS <= 0 {
+		return 0
+	}
+	return s.OverJ / (s.BudgetW * s.DurS)
+}
+
+// OverTimeFrac returns the fraction of time spent above the budget.
+func (s Summary) OverTimeFrac() float64 {
+	if s.DurS <= 0 {
+		return 0
+	}
+	return s.OverTimeS / s.DurS
+}
+
+// ThroughputPerOverJ is the paper's claim-C2 metric: throughput earned per
+// joule spent above the budget. A controller with negligible overshoot
+// scores arbitrarily well, so the overshoot energy is floored at floorJ
+// (pass the measurement resolution, e.g. one epoch at one watt) to keep the
+// metric finite and comparable.
+func (s Summary) ThroughputPerOverJ(floorJ float64) float64 {
+	over := s.OverJ
+	if over < floorJ {
+		over = floorJ
+	}
+	if over <= 0 {
+		return math.Inf(1)
+	}
+	return s.BIPS() / over
+}
+
+// EnergyEff is claim-C3's metric: BIPS per watt (equivalently, billions of
+// instructions per joule).
+func (s Summary) EnergyEff() float64 {
+	if s.EnergyJ <= 0 {
+		return 0
+	}
+	return s.Instr / 1e9 / s.EnergyJ
+}

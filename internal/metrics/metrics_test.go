@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Summary {
+	return Summary{
+		Controller: "od-rl",
+		Workload:   "canneal",
+		Cores:      64,
+		BudgetW:    90,
+		DurS:       10,
+		Instr:      500e9,
+		EnergyJ:    800,
+		OverJ:      4,
+		OverTimeS:  0.5,
+		PeakW:      95,
+		MeanW:      80,
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBad(t *testing.T) {
+	mutations := []func(*Summary){
+		func(s *Summary) { s.DurS = 0 },
+		func(s *Summary) { s.Instr = -1 },
+		func(s *Summary) { s.EnergyJ = -1 },
+		func(s *Summary) { s.OverJ = -1 },
+		func(s *Summary) { s.OverJ = s.EnergyJ + 1 },
+		func(s *Summary) { s.OverTimeS = s.DurS + 1 },
+	}
+	for i, m := range mutations {
+		s := sample()
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestBIPS(t *testing.T) {
+	s := sample()
+	if got := s.BIPS(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("BIPS = %v, want 50", got)
+	}
+}
+
+func TestOvershootNorm(t *testing.T) {
+	s := sample()
+	want := 4.0 / (90 * 10)
+	if got := s.OvershootNorm(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OvershootNorm = %v, want %v", got, want)
+	}
+	s.BudgetW = 0
+	if got := s.OvershootNorm(); got != 0 {
+		t.Fatalf("zero budget should give 0, got %v", got)
+	}
+}
+
+func TestOverTimeFrac(t *testing.T) {
+	s := sample()
+	if got := s.OverTimeFrac(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("OverTimeFrac = %v, want 0.05", got)
+	}
+}
+
+func TestThroughputPerOverJ(t *testing.T) {
+	s := sample()
+	if got := s.ThroughputPerOverJ(0.001); math.Abs(got-50.0/4.0) > 1e-9 {
+		t.Fatalf("ThroughputPerOverJ = %v, want 12.5", got)
+	}
+	// Floor applies when overshoot is tiny.
+	s.OverJ = 1e-9
+	if got := s.ThroughputPerOverJ(0.1); math.Abs(got-50.0/0.1) > 1e-6 {
+		t.Fatalf("floored metric = %v, want 500", got)
+	}
+	// Degenerate zero floor and zero overshoot → +Inf rather than NaN.
+	s.OverJ = 0
+	if got := s.ThroughputPerOverJ(0); !math.IsInf(got, 1) {
+		t.Fatalf("zero/zero case = %v, want +Inf", got)
+	}
+}
+
+func TestEnergyEff(t *testing.T) {
+	s := sample()
+	want := 500.0 / 800.0
+	if got := s.EnergyEff(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EnergyEff = %v, want %v", got, want)
+	}
+	s.EnergyJ = 0
+	if got := s.EnergyEff(); got != 0 {
+		t.Fatalf("zero energy should give 0, got %v", got)
+	}
+}
+
+// Property: for valid summaries, the metric identities hold:
+// EnergyEff·MeanW ≈ BIPS when MeanW = EnergyJ/DurS.
+func TestQuickMetricIdentity(t *testing.T) {
+	f := func(instrRaw, energyRaw uint16, durRaw uint8) bool {
+		s := Summary{
+			DurS:    float64(durRaw%50) + 1,
+			Instr:   float64(instrRaw) * 1e8,
+			EnergyJ: float64(energyRaw)/10 + 0.1,
+		}
+		s.MeanW = s.EnergyJ / s.DurS
+		lhs := s.EnergyEff() * s.MeanW
+		rhs := s.BIPS()
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(1, math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package noc models the 2D-mesh on-chip network as far as power-management
+// traffic is concerned: the latency and energy of gathering per-core
+// telemetry at a controller node and scattering VF commands back.
+//
+// The paper's scalability claim (abstract claim C4) is about total
+// controller cost at hundreds of cores. A centralized manager pays O(n)
+// message costs with O(√n) worst-case hop distance every control epoch on
+// top of its compute time; a distributed scheme pays almost nothing at the
+// fine grain. This package supplies those communication charges.
+package noc
+
+import "fmt"
+
+// Params are the per-message cost constants.
+type Params struct {
+	// HopLatencyS is the router+link traversal time for one telemetry
+	// message over one hop.
+	HopLatencyS float64
+	// IngestLatencyS is the serialisation time per message at the
+	// controller's ingress port; messages from different cores share that
+	// port, so gather latency has an n·IngestLatencyS term.
+	IngestLatencyS float64
+	// HopEnergyJ is the energy of moving one message over one hop.
+	HopEnergyJ float64
+}
+
+// Default returns constants for a few-GHz mesh router: ~4 ns per hop,
+// ~2 ns ingress serialisation, ~50 pJ per message-hop.
+func Default() Params {
+	return Params{
+		HopLatencyS:    4e-9,
+		IngestLatencyS: 2e-9,
+		HopEnergyJ:     50e-12,
+	}
+}
+
+// Validate reports the first invalid constant.
+func (p Params) Validate() error {
+	switch {
+	case p.HopLatencyS < 0:
+		return fmt.Errorf("noc: HopLatencyS must be non-negative, got %g", p.HopLatencyS)
+	case p.IngestLatencyS < 0:
+		return fmt.Errorf("noc: IngestLatencyS must be non-negative, got %g", p.IngestLatencyS)
+	case p.HopEnergyJ < 0:
+		return fmt.Errorf("noc: HopEnergyJ must be non-negative, got %g", p.HopEnergyJ)
+	}
+	return nil
+}
+
+// Mesh is a W×H mesh with XY routing.
+type Mesh struct {
+	w, h   int
+	params Params
+}
+
+// New creates a mesh.
+func New(w, h int, params Params) (*Mesh, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", w, h)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mesh{w: w, h: h, params: params}, nil
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.w * m.h }
+
+// Center returns the node index nearest the mesh centre, the natural
+// placement for a global power manager.
+func (m *Mesh) Center() int {
+	return (m.h/2)*m.w + m.w/2
+}
+
+// Hops returns the XY-routing hop count between nodes a and b.
+func (m *Mesh) Hops(a, b int) int {
+	if a < 0 || a >= m.Nodes() || b < 0 || b >= m.Nodes() {
+		panic(fmt.Sprintf("noc: node out of range: %d, %d (mesh has %d)", a, b, m.Nodes()))
+	}
+	ax, ay := a%m.w, a/m.w
+	bx, by := b%m.w, b/m.w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Cost is a latency/energy pair for one collective operation.
+type Cost struct {
+	LatencyS float64
+	EnergyJ  float64
+}
+
+// GatherCost returns the cost of collecting one telemetry message from every
+// node at sink. Latency is the farthest node's flight time plus the
+// serialised ingress of all n−1 remote messages (they share the sink's
+// port); energy is the sum over all message-hops.
+func (m *Mesh) GatherCost(sink int) Cost {
+	maxHops := 0
+	totalHops := 0
+	for node := 0; node < m.Nodes(); node++ {
+		h := m.Hops(node, sink)
+		totalHops += h
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	remote := m.Nodes() - 1
+	return Cost{
+		LatencyS: float64(maxHops)*m.params.HopLatencyS + float64(remote)*m.params.IngestLatencyS,
+		EnergyJ:  float64(totalHops) * m.params.HopEnergyJ,
+	}
+}
+
+// ScatterCost returns the cost of sending one command from src to every
+// node. Egress is serialised at the source, mirroring GatherCost.
+func (m *Mesh) ScatterCost(src int) Cost {
+	return m.GatherCost(src) // symmetric under this model
+}
+
+// NeighborExchangeCost returns the cost of one round of nearest-neighbour
+// exchange (each node sends to its ≤4 neighbours), the communication pattern
+// of fully distributed control. Latency is one hop plus one ingress;
+// energy is one hop per edge per direction.
+func (m *Mesh) NeighborExchangeCost() Cost {
+	edges := (m.w-1)*m.h + (m.h-1)*m.w
+	return Cost{
+		LatencyS: m.params.HopLatencyS + m.params.IngestLatencyS,
+		EnergyJ:  float64(2*edges) * m.params.HopEnergyJ,
+	}
+}

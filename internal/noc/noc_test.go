@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, Default()); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	bad := Default()
+	bad.HopLatencyS = -1
+	if _, err := New(3, 3, bad); err == nil {
+		t.Fatal("expected error for negative hop latency")
+	}
+}
+
+func TestHopsKnownValues(t *testing.T) {
+	m, _ := New(4, 4, Default())
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},  // across the top row
+		{0, 15, 6}, // corner to corner
+		{5, 6, 1},  // adjacent
+		{0, 12, 3}, // down the left column
+		{12, 3, 6}, // opposite corners
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopsPanicsOutOfRange(t *testing.T) {
+	m, _ := New(2, 2, Default())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Hops(0, 4)
+}
+
+func TestCenter(t *testing.T) {
+	m, _ := New(4, 4, Default())
+	c := m.Center()
+	// Centre of a 4x4 is node (2,2) = 10.
+	if c != 10 {
+		t.Fatalf("Center = %d, want 10", c)
+	}
+	// Centre must minimise the maximum hop distance reasonably: its
+	// eccentricity should be at most (w+h)/2.
+	maxHop := 0
+	for i := 0; i < m.Nodes(); i++ {
+		if h := m.Hops(i, c); h > maxHop {
+			maxHop = h
+		}
+	}
+	if maxHop > 4 {
+		t.Fatalf("centre eccentricity = %d, want <= 4", maxHop)
+	}
+}
+
+func TestGatherCostSingleNode(t *testing.T) {
+	m, _ := New(1, 1, Default())
+	c := m.GatherCost(0)
+	if c.LatencyS != 0 || c.EnergyJ != 0 {
+		t.Fatalf("1x1 gather cost = %+v, want zero", c)
+	}
+}
+
+func TestGatherCostGrowsWithMeshSize(t *testing.T) {
+	small, _ := New(4, 4, Default())
+	large, _ := New(16, 16, Default())
+	cs := small.GatherCost(small.Center())
+	cl := large.GatherCost(large.Center())
+	if cl.LatencyS <= cs.LatencyS {
+		t.Fatalf("larger mesh gather latency %v not above smaller %v", cl.LatencyS, cs.LatencyS)
+	}
+	if cl.EnergyJ <= cs.EnergyJ {
+		t.Fatalf("larger mesh gather energy %v not above smaller %v", cl.EnergyJ, cs.EnergyJ)
+	}
+	// The ingress-serialisation term makes latency scale at least linearly
+	// in node count.
+	if cl.LatencyS < float64(large.Nodes()-1)*Default().IngestLatencyS {
+		t.Fatal("gather latency misses the serialised ingress term")
+	}
+}
+
+func TestGatherCostAnalytic2x1(t *testing.T) {
+	p := Default()
+	m, _ := New(2, 1, p)
+	c := m.GatherCost(0)
+	wantLat := p.HopLatencyS + p.IngestLatencyS
+	wantEn := p.HopEnergyJ
+	if math.Abs(c.LatencyS-wantLat) > 1e-18 || math.Abs(c.EnergyJ-wantEn) > 1e-18 {
+		t.Fatalf("2x1 gather = %+v, want {%g %g}", c, wantLat, wantEn)
+	}
+}
+
+func TestScatterEqualsGather(t *testing.T) {
+	m, _ := New(5, 3, Default())
+	g := m.GatherCost(m.Center())
+	s := m.ScatterCost(m.Center())
+	if g != s {
+		t.Fatalf("scatter %+v != gather %+v", s, g)
+	}
+}
+
+func TestNeighborExchangeCostConstantLatency(t *testing.T) {
+	p := Default()
+	small, _ := New(4, 4, p)
+	large, _ := New(32, 32, p)
+	if small.NeighborExchangeCost().LatencyS != large.NeighborExchangeCost().LatencyS {
+		t.Fatal("neighbour-exchange latency must be independent of mesh size")
+	}
+	// Energy scales with edge count.
+	if large.NeighborExchangeCost().EnergyJ <= small.NeighborExchangeCost().EnergyJ {
+		t.Fatal("neighbour-exchange energy should grow with mesh size")
+	}
+}
+
+func TestNeighborExchangeEdgeCount(t *testing.T) {
+	p := Default()
+	m, _ := New(3, 2, p)
+	// Edges: horizontal (3-1)*2=4, vertical (2-1)*3=3, total 7; both
+	// directions → 14 message-hops.
+	want := 14 * p.HopEnergyJ
+	if got := m.NeighborExchangeCost().EnergyJ; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("exchange energy = %v, want %v", got, want)
+	}
+}
+
+// Property: hop distance is a metric (symmetric, zero iff equal, triangle
+// inequality) on arbitrary meshes.
+func TestQuickHopsMetric(t *testing.T) {
+	f := func(wRaw, hRaw, aRaw, bRaw, cRaw uint8) bool {
+		w := int(wRaw%8) + 1
+		h := int(hRaw%8) + 1
+		m, err := New(w, h, Default())
+		if err != nil {
+			return false
+		}
+		n := m.Nodes()
+		a, b, c := int(aRaw)%n, int(bRaw)%n, int(cRaw)%n
+		if m.Hops(a, b) != m.Hops(b, a) {
+			return false
+		}
+		if (m.Hops(a, b) == 0) != (a == b) {
+			return false
+		}
+		return m.Hops(a, c) <= m.Hops(a, b)+m.Hops(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the centre's max-hop eccentricity never exceeds a corner's.
+func TestQuickCenterBeatsCorner(t *testing.T) {
+	f := func(wRaw, hRaw uint8) bool {
+		w := int(wRaw%10) + 1
+		h := int(hRaw%10) + 1
+		m, _ := New(w, h, Default())
+		ecc := func(node int) int {
+			max := 0
+			for i := 0; i < m.Nodes(); i++ {
+				if hp := m.Hops(i, node); hp > max {
+					max = hp
+				}
+			}
+			return max
+		}
+		return ecc(m.Center()) <= ecc(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{Label: "power", X: []float64{0, 1, 2, 3}, Y: []float64{10, 20, 30, 40}}
+	if err := Render(&buf, "trace", 40, 10, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace", "power", "*", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", 40, 10); err == nil {
+		t.Fatal("expected error for no series")
+	}
+	bad := Series{Label: "b", X: []float64{1, 2}, Y: []float64{1}}
+	if err := Render(&buf, "t", 40, 10, bad); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	empty := Series{Label: "e"}
+	if err := Render(&buf, "t", 40, 10, empty); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+}
+
+func TestRenderMonotonePlacement(t *testing.T) {
+	// A rising line's marker in the last column must sit above (smaller
+	// row index than) the first column's.
+	var buf bytes.Buffer
+	s := Series{Label: "up", X: []float64{0, 1}, Y: []float64{0, 100}}
+	if err := Render(&buf, "", 20, 8, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexRune(line, '*')
+		if idx < 0 {
+			continue
+		}
+		// Plot area starts after "LABEL |".
+		col := idx - strings.IndexRune(line, '|') - 1
+		if col <= 1 && firstRow == -1 {
+			firstRow = r
+		}
+		if col >= 18 {
+			lastRow = r
+		}
+	}
+	if firstRow == -1 || lastRow == -1 {
+		t.Fatalf("markers not found:\n%s", buf.String())
+	}
+	if lastRow >= firstRow {
+		t.Fatalf("rising series rendered non-rising (rows %d -> %d)", firstRow, lastRow)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	var buf bytes.Buffer
+	a := Series{Label: "a", X: []float64{0, 1}, Y: []float64{1, 1}}
+	b := Series{Label: "b", X: []float64{0, 1}, Y: []float64{2, 2}}
+	if err := Render(&buf, "", 20, 6, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	var buf bytes.Buffer
+	s := Series{Label: "flat", X: []float64{5, 5, 5}, Y: []float64{7, 7, 7}}
+	if err := Render(&buf, "", 20, 5, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLine(t *testing.T) {
+	h := HLine("budget", 0, 10, 55)
+	if len(h.X) != 2 || h.Y[0] != 55 || h.Y[1] != 55 || h.X[1] != 10 {
+		t.Fatalf("HLine = %+v", h)
+	}
+}

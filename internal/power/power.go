@@ -1,0 +1,166 @@
+// Package power implements the per-core and chip-level power model:
+// switching (dynamic) power αC·V²·f plus temperature-dependent leakage.
+//
+// The model plays the role McPAT plays for the paper's simulator: it maps
+// the architectural state the simulator produces (voltage, frequency,
+// activity, temperature) to watts, which is the only power-side interface a
+// DVFS controller observes. Constants default to a 22 nm-class many-core
+// where a core spans roughly 0.13 W (idle, slowest level) to 3.5 W (fully
+// active, fastest level).
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the technology constants of the power model.
+type Params struct {
+	// CeffF is the effective switched capacitance of one core in farads;
+	// dynamic power is Activity*CeffF*V²*f.
+	CeffF float64
+	// LeakI0A is the leakage current of one core at VrefV and TrefK.
+	LeakI0A float64
+	// VrefV and TrefK anchor the leakage model.
+	VrefV float64
+	TrefK float64
+	// LeakTempCoeffPerK is the exponential temperature coefficient of
+	// leakage current: I = I0 * exp(coeff*(T-Tref)). A value of 0.02/K
+	// doubles leakage roughly every 35 K, typical of scaled CMOS.
+	LeakTempCoeffPerK float64
+	// LeakVoltageExp models the super-linear voltage dependence of leakage
+	// current (DIBL): I ∝ (V/Vref)^exp.
+	LeakVoltageExp float64
+	// UncoreW is constant per-chip power (NoC idle, memory controllers,
+	// clock distribution) charged on top of core power.
+	UncoreW float64
+}
+
+// Default returns constants for the default 22 nm-class platform.
+func Default() Params {
+	return Params{
+		CeffF:             0.63e-9,
+		LeakI0A:           0.40,
+		VrefV:             1.15,
+		TrefK:             330,
+		LeakTempCoeffPerK: 0.02,
+		LeakVoltageExp:    1.5,
+		UncoreW:           4.0,
+	}
+}
+
+// Validate reports the first invalid constant.
+func (p Params) Validate() error {
+	switch {
+	case p.CeffF <= 0:
+		return fmt.Errorf("power: CeffF must be positive, got %g", p.CeffF)
+	case p.LeakI0A < 0:
+		return fmt.Errorf("power: LeakI0A must be non-negative, got %g", p.LeakI0A)
+	case p.VrefV <= 0:
+		return fmt.Errorf("power: VrefV must be positive, got %g", p.VrefV)
+	case p.TrefK <= 0:
+		return fmt.Errorf("power: TrefK must be positive, got %g", p.TrefK)
+	case p.LeakTempCoeffPerK < 0:
+		return fmt.Errorf("power: LeakTempCoeffPerK must be non-negative, got %g", p.LeakTempCoeffPerK)
+	case p.LeakVoltageExp < 0:
+		return fmt.Errorf("power: LeakVoltageExp must be non-negative, got %g", p.LeakVoltageExp)
+	case p.UncoreW < 0:
+		return fmt.Errorf("power: UncoreW must be non-negative, got %g", p.UncoreW)
+	}
+	return nil
+}
+
+// DynamicW returns switching power in watts for one core at voltage v,
+// frequency fHz and activity factor in [0,1].
+func (p Params) DynamicW(v, fHz, activity float64) float64 {
+	if activity < 0 {
+		activity = 0
+	} else if activity > 1 {
+		activity = 1
+	}
+	return activity * p.CeffF * v * v * fHz
+}
+
+// LeakageW returns leakage power in watts for one core at voltage v and
+// temperature tempK.
+func (p Params) LeakageW(v, tempK float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	i := p.LeakI0A * math.Pow(v/p.VrefV, p.LeakVoltageExp) *
+		math.Exp(p.LeakTempCoeffPerK*(tempK-p.TrefK))
+	return v * i
+}
+
+// CoreW returns total power of one core.
+func (p Params) CoreW(v, fHz, activity, tempK float64) float64 {
+	return p.DynamicW(v, fHz, activity) + p.LeakageW(v, tempK)
+}
+
+// ChipW sums per-core powers and adds the uncore floor.
+func (p Params) ChipW(coreW []float64) float64 {
+	total := p.UncoreW
+	for _, w := range coreW {
+		total += w
+	}
+	return total
+}
+
+// Meter accumulates energy and tracks running power statistics across
+// simulation epochs. The zero value is ready to use.
+type Meter struct {
+	energyJ     float64
+	overJ       float64 // energy consumed above the budget in force
+	timeS       float64
+	peakW       float64
+	overTimeS   float64
+	sampleCount int
+}
+
+// Add records dt seconds at power w watts against budget budgetW. Negative
+// dt is rejected with a panic since it indicates a simulator bug.
+func (m *Meter) Add(w, budgetW, dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("power: negative interval %g", dt))
+	}
+	m.energyJ += w * dt
+	m.timeS += dt
+	if w > m.peakW {
+		m.peakW = w
+	}
+	if w > budgetW {
+		m.overJ += (w - budgetW) * dt
+		m.overTimeS += dt
+	}
+	m.sampleCount++
+}
+
+// EnergyJ returns total accumulated energy in joules.
+func (m *Meter) EnergyJ() float64 { return m.energyJ }
+
+// OverBudgetJ returns energy accumulated above the budget (the overshoot
+// integral, in joules — numerically identical to W·s over budget).
+func (m *Meter) OverBudgetJ() float64 { return m.overJ }
+
+// OverBudgetTimeS returns how long the chip spent above budget.
+func (m *Meter) OverBudgetTimeS() float64 { return m.overTimeS }
+
+// TimeS returns total accumulated time in seconds.
+func (m *Meter) TimeS() float64 { return m.timeS }
+
+// PeakW returns the maximum instantaneous power observed.
+func (m *Meter) PeakW() float64 { return m.peakW }
+
+// MeanW returns average power, or 0 before any time has accumulated.
+func (m *Meter) MeanW() float64 {
+	if m.timeS == 0 {
+		return 0
+	}
+	return m.energyJ / m.timeS
+}
+
+// Samples returns how many intervals have been recorded.
+func (m *Meter) Samples() int { return m.sampleCount }
+
+// Reset clears the meter.
+func (m *Meter) Reset() { *m = Meter{} }

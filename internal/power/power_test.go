@@ -1,0 +1,223 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := Default()
+	mutations := []func(*Params){
+		func(p *Params) { p.CeffF = 0 },
+		func(p *Params) { p.CeffF = -1 },
+		func(p *Params) { p.LeakI0A = -1 },
+		func(p *Params) { p.VrefV = 0 },
+		func(p *Params) { p.TrefK = -5 },
+		func(p *Params) { p.LeakTempCoeffPerK = -0.1 },
+		func(p *Params) { p.LeakVoltageExp = -1 },
+		func(p *Params) { p.UncoreW = -1 },
+	}
+	for i, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDynamicScalesQuadraticallyWithVoltage(t *testing.T) {
+	p := Default()
+	w1 := p.DynamicW(0.6, 2e9, 1)
+	w2 := p.DynamicW(1.2, 2e9, 1)
+	if ratio := w2 / w1; math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("doubling voltage scaled dynamic power by %v, want 4", ratio)
+	}
+}
+
+func TestDynamicScalesLinearlyWithFrequency(t *testing.T) {
+	p := Default()
+	w1 := p.DynamicW(1.0, 1e9, 1)
+	w2 := p.DynamicW(1.0, 3e9, 1)
+	if ratio := w2 / w1; math.Abs(ratio-3) > 1e-9 {
+		t.Fatalf("3x frequency scaled dynamic power by %v, want 3", ratio)
+	}
+}
+
+func TestActivityClamped(t *testing.T) {
+	p := Default()
+	if w := p.DynamicW(1.0, 1e9, -0.5); w != 0 {
+		t.Fatalf("negative activity gave %v, want 0", w)
+	}
+	full := p.DynamicW(1.0, 1e9, 1)
+	if w := p.DynamicW(1.0, 1e9, 2.5); w != full {
+		t.Fatalf("activity > 1 gave %v, want %v", w, full)
+	}
+}
+
+func TestLeakageTemperatureDoubling(t *testing.T) {
+	p := Default()
+	w1 := p.LeakageW(1.0, 330)
+	w2 := p.LeakageW(1.0, 330+math.Ln2/p.LeakTempCoeffPerK)
+	if ratio := w2 / w1; math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("temperature rise of ln2/coeff scaled leakage by %v, want 2", ratio)
+	}
+}
+
+func TestLeakageZeroAtZeroVoltage(t *testing.T) {
+	p := Default()
+	if w := p.LeakageW(0, 350); w != 0 {
+		t.Fatalf("leakage at 0 V = %v, want 0", w)
+	}
+	if w := p.LeakageW(-1, 350); w != 0 {
+		t.Fatalf("leakage at negative V = %v, want 0", w)
+	}
+}
+
+func TestCoreWIsSum(t *testing.T) {
+	p := Default()
+	d := p.DynamicW(1.0, 2e9, 0.7)
+	l := p.LeakageW(1.0, 340)
+	if got := p.CoreW(1.0, 2e9, 0.7, 340); math.Abs(got-(d+l)) > 1e-12 {
+		t.Fatalf("CoreW = %v, want %v", got, d+l)
+	}
+}
+
+func TestChipWIncludesUncore(t *testing.T) {
+	p := Default()
+	cores := []float64{1, 2, 3}
+	if got := p.ChipW(cores); math.Abs(got-(6+p.UncoreW)) > 1e-12 {
+		t.Fatalf("ChipW = %v, want %v", got, 6+p.UncoreW)
+	}
+	if got := p.ChipW(nil); got != p.UncoreW {
+		t.Fatalf("ChipW(nil) = %v, want uncore floor %v", got, p.UncoreW)
+	}
+}
+
+func TestDefaultMagnitudes(t *testing.T) {
+	// Sanity-check the calibration targets stated in the package comment.
+	p := Default()
+	top := p.CoreW(1.15, 3.6e9, 1.0, 330)
+	if top < 2.5 || top > 4.5 {
+		t.Fatalf("top-level active core power = %v W, want 2.5-4.5 W", top)
+	}
+	bottom := p.CoreW(0.46, 1.0e9, 0.1, 310)
+	if bottom < 0.01 || bottom > 0.5 {
+		t.Fatalf("bottom-level quiet core power = %v W, want 0.01-0.5 W", bottom)
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	var m Meter
+	m.Add(100, 90, 1.0) // 10 W over budget for 1 s
+	m.Add(80, 90, 2.0)  // under budget
+	if got := m.EnergyJ(); math.Abs(got-260) > 1e-9 {
+		t.Fatalf("EnergyJ = %v, want 260", got)
+	}
+	if got := m.OverBudgetJ(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("OverBudgetJ = %v, want 10", got)
+	}
+	if got := m.OverBudgetTimeS(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("OverBudgetTimeS = %v, want 1", got)
+	}
+	if got := m.PeakW(); got != 100 {
+		t.Fatalf("PeakW = %v, want 100", got)
+	}
+	if got := m.MeanW(); math.Abs(got-260.0/3.0) > 1e-9 {
+		t.Fatalf("MeanW = %v, want %v", got, 260.0/3.0)
+	}
+	if got := m.Samples(); got != 2 {
+		t.Fatalf("Samples = %d, want 2", got)
+	}
+}
+
+func TestMeterZeroValue(t *testing.T) {
+	var m Meter
+	if m.MeanW() != 0 || m.EnergyJ() != 0 || m.PeakW() != 0 {
+		t.Fatal("zero-value meter not zeroed")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.Add(50, 40, 1)
+	m.Reset()
+	if m.EnergyJ() != 0 || m.TimeS() != 0 || m.Samples() != 0 {
+		t.Fatal("Reset did not clear meter")
+	}
+}
+
+func TestMeterPanicsOnNegativeInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt did not panic")
+		}
+	}()
+	var m Meter
+	m.Add(10, 10, -1)
+}
+
+// Property: total power is monotone in voltage, frequency, activity and
+// temperature for physically meaningful inputs.
+func TestQuickCorePowerMonotone(t *testing.T) {
+	p := Default()
+	f := func(v1, v2, fr1, fr2 uint16) bool {
+		va := 0.4 + float64(v1%100)/125.0 // 0.4 .. 1.19
+		vb := 0.4 + float64(v2%100)/125.0
+		fa := 1e9 + float64(fr1%3000)*1e6
+		fb := 1e9 + float64(fr2%3000)*1e6
+		if va > vb {
+			va, vb = vb, va
+		}
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		lo := p.CoreW(va, fa, 0.5, 330)
+		hi := p.CoreW(vb, fb, 0.5, 330)
+		return lo <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: meter energy equals the sum of w*dt over all samples.
+func TestQuickMeterEnergyConservation(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var m Meter
+		want := 0.0
+		for _, s := range samples {
+			w := float64(s % 200)
+			dt := float64(s%7) * 0.001
+			m.Add(w, 100, dt)
+			want += w * dt
+		}
+		return math.Abs(m.EnergyJ()-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: over-budget energy never exceeds total energy and is
+// non-negative.
+func TestQuickOverBudgetBounded(t *testing.T) {
+	f := func(samples []uint16, budgetRaw uint8) bool {
+		budget := float64(budgetRaw)
+		var m Meter
+		for _, s := range samples {
+			m.Add(float64(s%300), budget, 0.01)
+		}
+		return m.OverBudgetJ() >= 0 && m.OverBudgetJ() <= m.EnergyJ()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

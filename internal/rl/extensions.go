@@ -1,0 +1,147 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file holds the optional learning extensions: Watkins Q(λ)
+// eligibility traces, double Q-learning, and Q-table persistence for
+// warm-starting controllers across runs.
+
+// DoubleQLearning is the double-estimator variant of Q-learning: two
+// tables cross-evaluate each other's greedy action, removing the
+// max-operator's positive bias in noisy environments (van Hasselt 2010).
+// Declared here with the other Algorithm values' semantics.
+const DoubleQLearning Algorithm = 2
+
+// tracesEnabled reports whether the agent runs Watkins Q(λ).
+func (c Config) tracesEnabled() bool { return c.TraceLambda > 0 }
+
+// validateExtensions is called from Config.Validate.
+func (c Config) validateExtensions() error {
+	if c.TraceLambda < 0 || c.TraceLambda >= 1 {
+		return fmt.Errorf("rl: TraceLambda must be in [0,1), got %g", c.TraceLambda)
+	}
+	if c.Algorithm == DoubleQLearning && c.tracesEnabled() {
+		return fmt.Errorf("rl: eligibility traces are not supported with double Q-learning")
+	}
+	return nil
+}
+
+// stepDouble performs one double Q-learning update. The two estimators are
+// a.table and a.table2; a fair coin picks which one is updated, using the
+// other's value of the first's greedy action as the bootstrap.
+func (a *Agent) stepDouble(reward float64, next int) {
+	upd, other := a.table, a.table2
+	if a.r.Float64() < 0.5 {
+		upd, other = a.table2, a.table
+	}
+	greedy, _ := upd.Best(next)
+	target := reward + a.cfg.Gamma*other.Get(next, greedy)
+	old := upd.Get(a.lastState, a.lastAct)
+	upd.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(target-old))
+}
+
+// combinedQ returns the action-value used for double-Q action selection:
+// the mean of both estimators.
+func (a *Agent) combinedQ(s, act int) float64 {
+	return (a.table.Get(s, act) + a.table2.Get(s, act)) / 2
+}
+
+// bestCombined is Best over the averaged estimators.
+func (a *Agent) bestCombined(s int) (int, float64) {
+	act, val := 0, a.combinedQ(s, 0)
+	for i := 1; i < a.cfg.Actions; i++ {
+		if v := a.combinedQ(s, i); v > val {
+			act, val = i, v
+		}
+	}
+	return act, val
+}
+
+// stepTraces performs one Watkins Q(λ) update: the TD error is broadcast
+// along the eligibility trail, which is cut whenever the agent explores
+// (the trail then no longer predicts the greedy return).
+func (a *Agent) stepTraces(reward float64, next, nextAct int) {
+	greedyNext, bootstrap := a.table.Best(next)
+	delta := reward + a.cfg.Gamma*bootstrap - a.table.Get(a.lastState, a.lastAct)
+
+	// Replacing traces: the revisited pair snaps back to full credit.
+	a.trace[a.lastState*a.cfg.Actions+a.lastAct] = 1
+
+	decay := a.cfg.Gamma * a.cfg.TraceLambda
+	cut := nextAct != greedyNext // Watkins: exploration severs the trail
+	for i, e := range a.trace {
+		if e == 0 {
+			continue
+		}
+		a.table.q[i] += a.cfg.Alpha * delta * e
+		if cut {
+			a.trace[i] = 0
+			continue
+		}
+		e *= decay
+		if e < 1e-8 {
+			e = 0
+		}
+		a.trace[i] = e
+	}
+}
+
+// tableState is the serialised form of a Table.
+type tableState struct {
+	States  int       `json:"states"`
+	Actions int       `json:"actions"`
+	Q       []float64 `json:"q"`
+}
+
+// MarshalJSON implements json.Marshaler so tables embed naturally in
+// larger policy files.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableState{States: t.states, Actions: t.actions, Q: t.q})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with the same consistency
+// checks as LoadTable.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var s tableState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("rl: decoding table: %w", err)
+	}
+	if s.States <= 0 || s.Actions <= 0 || len(s.Q) != s.States*s.Actions {
+		return fmt.Errorf("rl: inconsistent table (%d states x %d actions, %d values)",
+			s.States, s.Actions, len(s.Q))
+	}
+	t.states, t.actions, t.q = s.States, s.Actions, s.Q
+	return nil
+}
+
+// Save serialises the table as JSON.
+func (t *Table) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(tableState{States: t.states, Actions: t.actions, Q: t.q})
+}
+
+// LoadTable deserialises a table saved with Save.
+func LoadTable(r io.Reader) (*Table, error) {
+	var s tableState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("rl: decoding table: %w", err)
+	}
+	if s.States <= 0 || s.Actions <= 0 || len(s.Q) != s.States*s.Actions {
+		return nil, fmt.Errorf("rl: inconsistent table (%d states x %d actions, %d values)",
+			s.States, s.Actions, len(s.Q))
+	}
+	return &Table{states: s.States, actions: s.Actions, q: s.Q}, nil
+}
+
+// CopyFrom replaces this table's values with src's; dimensions must match.
+func (t *Table) CopyFrom(src *Table) error {
+	if src.states != t.states || src.actions != t.actions {
+		return fmt.Errorf("rl: table shape mismatch: %dx%d vs %dx%d",
+			src.states, src.actions, t.states, t.actions)
+	}
+	copy(t.q, src.q)
+	return nil
+}

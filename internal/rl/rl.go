@@ -1,0 +1,321 @@
+// Package rl provides the tabular reinforcement-learning machinery the
+// OD-RL controller builds on: Q-tables, Q-learning and SARSA updates,
+// ε-greedy and softmax action selection with decay schedules, and helpers
+// for discretising continuous telemetry into table states.
+//
+// Everything is deliberately table-based. The paper's per-core agents must
+// run every millisecond on hundreds of cores; a handful of multiplies per
+// decision is the entire point of the approach, and the F5 scalability
+// experiment measures exactly that.
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Algorithm selects the temporal-difference target.
+type Algorithm int
+
+// Supported TD algorithms.
+const (
+	// QLearning bootstraps from the greedy next action (off-policy).
+	QLearning Algorithm = iota
+	// SARSA bootstraps from the action actually taken (on-policy).
+	SARSA
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case QLearning:
+		return "q-learning"
+	case SARSA:
+		return "sarsa"
+	case DoubleQLearning:
+		return "double-q-learning"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// PolicyKind selects the exploration policy.
+type PolicyKind int
+
+// Supported exploration policies.
+const (
+	// EpsilonGreedy explores uniformly with probability ε.
+	EpsilonGreedy PolicyKind = iota
+	// Softmax samples actions with probability ∝ exp(Q/τ).
+	Softmax
+)
+
+// Config parameterises an Agent.
+type Config struct {
+	States  int
+	Actions int
+	// Alpha is the learning rate in (0, 1].
+	Alpha float64
+	// Gamma is the discount factor in [0, 1).
+	Gamma float64
+	// Algorithm chooses the TD target.
+	Algorithm Algorithm
+	// Policy chooses the exploration mechanism.
+	Policy PolicyKind
+	// EpsilonStart/EpsilonEnd/EpsilonDecay give the exploration schedule
+	// ε(t) = end + (start − end)·decay^t for EpsilonGreedy, and the same
+	// schedule for temperature when Policy is Softmax.
+	EpsilonStart float64
+	EpsilonEnd   float64
+	EpsilonDecay float64
+	// InitialQ optimistically initialises the table to encourage early
+	// exploration of untried actions.
+	InitialQ float64
+	// TraceLambda, when positive, enables Watkins Q(λ) eligibility traces
+	// with the given decay (only with the QLearning algorithm).
+	TraceLambda float64
+	// UCBc is the UCB1 exploration constant; only used when Policy is UCB,
+	// where it must be positive.
+	UCBc float64
+}
+
+// Validate reports the first invalid hyper-parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.States <= 0:
+		return fmt.Errorf("rl: States must be positive, got %d", c.States)
+	case c.Actions <= 0:
+		return fmt.Errorf("rl: Actions must be positive, got %d", c.Actions)
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("rl: Alpha must be in (0,1], got %g", c.Alpha)
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("rl: Gamma must be in [0,1), got %g", c.Gamma)
+	case c.EpsilonStart < 0 || c.EpsilonStart > 1:
+		return fmt.Errorf("rl: EpsilonStart must be in [0,1], got %g", c.EpsilonStart)
+	case c.EpsilonEnd < 0 || c.EpsilonEnd > c.EpsilonStart:
+		return fmt.Errorf("rl: EpsilonEnd must be in [0, EpsilonStart], got %g", c.EpsilonEnd)
+	case c.EpsilonDecay <= 0 || c.EpsilonDecay > 1:
+		return fmt.Errorf("rl: EpsilonDecay must be in (0,1], got %g", c.EpsilonDecay)
+	case c.Algorithm != QLearning && c.Algorithm != SARSA && c.Algorithm != DoubleQLearning:
+		return fmt.Errorf("rl: unknown algorithm %d", c.Algorithm)
+	case c.Policy != EpsilonGreedy && c.Policy != Softmax && c.Policy != UCB:
+		return fmt.Errorf("rl: unknown policy %d", c.Policy)
+	case c.Policy == UCB && c.UCBc <= 0:
+		return fmt.Errorf("rl: UCB policy needs positive UCBc, got %g", c.UCBc)
+	}
+	return c.validateExtensions()
+}
+
+// Table is a dense state×action value table.
+type Table struct {
+	states, actions int
+	q               []float64
+}
+
+// NewTable allocates a table initialised to initialQ.
+func NewTable(states, actions int, initialQ float64) *Table {
+	t := &Table{states: states, actions: actions, q: make([]float64, states*actions)}
+	if initialQ != 0 {
+		for i := range t.q {
+			t.q[i] = initialQ
+		}
+	}
+	return t
+}
+
+// Get returns Q(s, a).
+func (t *Table) Get(s, a int) float64 { return t.q[s*t.actions+a] }
+
+// Set assigns Q(s, a).
+func (t *Table) Set(s, a int, v float64) { t.q[s*t.actions+a] = v }
+
+// Best returns the greedy action and its value for state s; ties break
+// toward the lowest action index so results are deterministic.
+func (t *Table) Best(s int) (action int, value float64) {
+	base := s * t.actions
+	action, value = 0, t.q[base]
+	for a := 1; a < t.actions; a++ {
+		if v := t.q[base+a]; v > value {
+			action, value = a, v
+		}
+	}
+	return action, value
+}
+
+// States and Actions return the table dimensions.
+func (t *Table) States() int  { return t.states }
+func (t *Table) Actions() int { return t.actions }
+
+// Agent is one tabular TD learner. Use Begin once, then alternate
+// environment steps with Step.
+type Agent struct {
+	cfg    Config
+	table  *Table
+	table2 *Table    // second estimator, double Q-learning only
+	trace  []float64 // eligibility traces, Q(λ) only
+	ucb    *ucbState // visit counts, UCB policy only
+	r      *rng.RNG
+
+	steps     int
+	lastState int
+	lastAct   int
+	started   bool
+
+	// scratch for softmax
+	probs []float64
+}
+
+// NewAgent creates an agent. The RNG drives exploration.
+func NewAgent(cfg Config, r *rng.RNG) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("rl: nil rng")
+	}
+	a := &Agent{
+		cfg:   cfg,
+		table: NewTable(cfg.States, cfg.Actions, cfg.InitialQ),
+		r:     r,
+		probs: make([]float64, cfg.Actions),
+	}
+	if cfg.Algorithm == DoubleQLearning {
+		a.table2 = NewTable(cfg.States, cfg.Actions, cfg.InitialQ)
+	}
+	if cfg.tracesEnabled() {
+		a.trace = make([]float64, cfg.States*cfg.Actions)
+	}
+	if cfg.Policy == UCB {
+		a.ucb = &ucbState{
+			visits:      make([]float64, cfg.States*cfg.Actions),
+			stateVisits: make([]float64, cfg.States),
+		}
+	}
+	return a, nil
+}
+
+// Table exposes the agent's Q-table (for inspection and for the OD-RL
+// global layer, which reads Q-values as marginal-utility estimates).
+func (a *Agent) Table() *Table { return a.table }
+
+// Epsilon returns the current exploration parameter.
+func (a *Agent) Epsilon() float64 {
+	c := a.cfg
+	return c.EpsilonEnd + (c.EpsilonStart-c.EpsilonEnd)*math.Pow(c.EpsilonDecay, float64(a.steps))
+}
+
+// Steps returns the number of learning steps taken so far.
+func (a *Agent) Steps() int { return a.steps }
+
+// valueOf returns the action value used for selection: the mean of both
+// estimators under double Q-learning, the single table otherwise.
+func (a *Agent) valueOf(s, act int) float64 {
+	if a.table2 != nil {
+		return a.combinedQ(s, act)
+	}
+	return a.table.Get(s, act)
+}
+
+// bestAction is the greedy action under the selection value.
+func (a *Agent) bestAction(s int) int {
+	if a.table2 != nil {
+		act, _ := a.bestCombined(s)
+		return act
+	}
+	act, _ := a.table.Best(s)
+	return act
+}
+
+// selectAction applies the configured exploration policy at state s.
+func (a *Agent) selectAction(s int) int {
+	eps := a.Epsilon()
+	switch a.cfg.Policy {
+	case UCB:
+		return a.selectUCB(s)
+	case Softmax:
+		// Temperature follows the ε schedule, floored to stay numeric.
+		tau := eps
+		if tau < 1e-3 {
+			tau = 1e-3
+		}
+		maxQ := a.valueOf(s, 0)
+		for i := 1; i < a.cfg.Actions; i++ {
+			if v := a.valueOf(s, i); v > maxQ {
+				maxQ = v
+			}
+		}
+		sum := 0.0
+		for i := 0; i < a.cfg.Actions; i++ {
+			p := math.Exp((a.valueOf(s, i) - maxQ) / tau)
+			a.probs[i] = p
+			sum += p
+		}
+		x := a.r.Float64() * sum
+		for i, p := range a.probs {
+			x -= p
+			if x < 0 {
+				return i
+			}
+		}
+		return a.cfg.Actions - 1
+	default: // EpsilonGreedy
+		if a.r.Float64() < eps {
+			return a.r.Intn(a.cfg.Actions)
+		}
+		return a.bestAction(s)
+	}
+}
+
+// Begin starts (or restarts) an episode at state s and returns the first
+// action. No learning happens.
+func (a *Agent) Begin(s int) int {
+	a.checkState(s)
+	act := a.selectAction(s)
+	a.lastState, a.lastAct = s, act
+	a.started = true
+	return act
+}
+
+// Step records reward for the previous action, observes the next state,
+// learns, and returns the next action. It panics if Begin was never called:
+// that is a controller wiring bug.
+func (a *Agent) Step(reward float64, next int) int {
+	if !a.started {
+		panic("rl: Step before Begin")
+	}
+	a.checkState(next)
+	nextAct := a.selectAction(next)
+
+	switch {
+	case a.cfg.Algorithm == DoubleQLearning:
+		a.stepDouble(reward, next)
+	case a.cfg.tracesEnabled():
+		a.stepTraces(reward, next, nextAct)
+	case a.cfg.Algorithm == SARSA:
+		bootstrap := a.table.Get(next, nextAct)
+		old := a.table.Get(a.lastState, a.lastAct)
+		a.table.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(reward+a.cfg.Gamma*bootstrap-old))
+	default: // QLearning
+		_, bootstrap := a.table.Best(next)
+		old := a.table.Get(a.lastState, a.lastAct)
+		a.table.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(reward+a.cfg.Gamma*bootstrap-old))
+	}
+
+	a.lastState, a.lastAct = next, nextAct
+	a.steps++
+	return nextAct
+}
+
+// Greedy returns the greedy action at state s without exploring or learning.
+func (a *Agent) Greedy(s int) int {
+	a.checkState(s)
+	return a.bestAction(s)
+}
+
+func (a *Agent) checkState(s int) {
+	if s < 0 || s >= a.cfg.States {
+		panic(fmt.Sprintf("rl: state %d out of range [0,%d)", s, a.cfg.States))
+	}
+}

@@ -1,0 +1,270 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// TileCoder maps a continuous d-dimensional state onto sparse binary
+// features using T offset tilings — the classic coarse coding of Sutton &
+// Barto. Compared to a single-grid discretiser, overlapping offset tilings
+// generalise between neighbouring states while still resolving fine
+// distinctions, removing the hard bucket cliffs of a table.
+type TileCoder struct {
+	lows, highs []float64
+	tilesPerDim int
+	tilings     int
+	offsets     [][]float64 // [tiling][dim] fractional offsets in tile units
+	perTiling   int         // tiles per tiling
+}
+
+// NewTileCoder builds a coder over the given per-dimension ranges with
+// tilesPerDim tiles per dimension and the given number of offset tilings.
+func NewTileCoder(lows, highs []float64, tilesPerDim, tilings int) (*TileCoder, error) {
+	if len(lows) == 0 || len(lows) != len(highs) {
+		return nil, fmt.Errorf("rl: tile coder needs matching bounds, got %d/%d", len(lows), len(highs))
+	}
+	for i := range lows {
+		if highs[i] <= lows[i] {
+			return nil, fmt.Errorf("rl: tile coder dimension %d has empty range [%g, %g]", i, lows[i], highs[i])
+		}
+	}
+	if tilesPerDim < 1 || tilings < 1 {
+		return nil, fmt.Errorf("rl: tile coder needs positive tiles (%d) and tilings (%d)", tilesPerDim, tilings)
+	}
+	tc := &TileCoder{
+		lows:        append([]float64(nil), lows...),
+		highs:       append([]float64(nil), highs...),
+		tilesPerDim: tilesPerDim,
+		tilings:     tilings,
+		perTiling:   int(math.Pow(float64(tilesPerDim+1), float64(len(lows)))),
+	}
+	// Deterministic asymmetric offsets: tiling t is shifted by t·(2i+1)/T
+	// tile-fractions in dimension i (the standard displacement vector).
+	for t := 0; t < tilings; t++ {
+		off := make([]float64, len(lows))
+		for i := range off {
+			off[i] = math.Mod(float64(t)*float64(2*i+1)/float64(tilings), 1.0)
+		}
+		tc.offsets = append(tc.offsets, off)
+	}
+	return tc, nil
+}
+
+// Features returns the number of binary features (one active per tiling).
+func (tc *TileCoder) Features() int { return tc.tilings * tc.perTiling }
+
+// ActiveTiles writes the indices of the active features for state x into
+// dst (len(dst) must be Tilings()) and returns dst. Values outside the
+// configured ranges clamp.
+func (tc *TileCoder) ActiveTiles(x []float64, dst []int) []int {
+	if len(x) != len(tc.lows) {
+		panic(fmt.Sprintf("rl: tile coder got %d dims, want %d", len(x), len(tc.lows)))
+	}
+	if len(dst) != tc.tilings {
+		dst = make([]int, tc.tilings)
+	}
+	for t := 0; t < tc.tilings; t++ {
+		idx := 0
+		for i := range x {
+			v := (x[i] - tc.lows[i]) / (tc.highs[i] - tc.lows[i]) // [0,1]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			tile := int(v*float64(tc.tilesPerDim) + tc.offsets[t][i])
+			if tile > tc.tilesPerDim {
+				tile = tc.tilesPerDim
+			}
+			idx = idx*(tc.tilesPerDim+1) + tile
+		}
+		dst[t] = t*tc.perTiling + idx
+	}
+	return dst
+}
+
+// Tilings returns the number of tilings (= active features per state).
+func (tc *TileCoder) Tilings() int { return tc.tilings }
+
+// LinearAgent is a SARSA(λ)-style learner with linear function
+// approximation over tile-coded continuous states: Q(x, a) = Σ w[a][f] for
+// active features f. It is the function-approximation counterpart of
+// Agent and follows the same Begin/Step protocol, with continuous state
+// vectors instead of table indices.
+type LinearAgent struct {
+	coder                      *TileCoder
+	actions                    int
+	alpha                      float64 // per-active-feature step size (already divided by tilings)
+	gamma                      float64
+	lambda                     float64 // eligibility decay; 0 = one-step
+	epsStart, epsEnd, epsDecay float64
+
+	weights [][]float64 // [action][feature]
+	elig    [][]float64
+	r       *rng.RNG
+
+	steps     int
+	lastTiles []int
+	lastAct   int
+	started   bool
+	scratch   []int
+}
+
+// LinearConfig parameterises a LinearAgent.
+type LinearConfig struct {
+	Actions int
+	// Alpha is the overall learning rate; it is divided by the number of
+	// tilings internally so generalisation does not inflate updates.
+	Alpha  float64
+	Gamma  float64
+	Lambda float64
+	// Epsilon schedule as in Config.
+	EpsilonStart float64
+	EpsilonEnd   float64
+	EpsilonDecay float64
+}
+
+// NewLinearAgent creates a linear agent over the given coder.
+func NewLinearAgent(coder *TileCoder, cfg LinearConfig, r *rng.RNG) (*LinearAgent, error) {
+	if coder == nil {
+		return nil, fmt.Errorf("rl: nil tile coder")
+	}
+	if cfg.Actions <= 0 {
+		return nil, fmt.Errorf("rl: Actions must be positive, got %d", cfg.Actions)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("rl: Alpha must be in (0,1], got %g", cfg.Alpha)
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("rl: Gamma must be in [0,1), got %g", cfg.Gamma)
+	}
+	if cfg.Lambda < 0 || cfg.Lambda >= 1 {
+		return nil, fmt.Errorf("rl: Lambda must be in [0,1), got %g", cfg.Lambda)
+	}
+	if cfg.EpsilonStart < 0 || cfg.EpsilonStart > 1 || cfg.EpsilonEnd < 0 ||
+		cfg.EpsilonEnd > cfg.EpsilonStart || cfg.EpsilonDecay <= 0 || cfg.EpsilonDecay > 1 {
+		return nil, fmt.Errorf("rl: invalid epsilon schedule (%g, %g, %g)",
+			cfg.EpsilonStart, cfg.EpsilonEnd, cfg.EpsilonDecay)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("rl: nil rng")
+	}
+	a := &LinearAgent{
+		coder:    coder,
+		actions:  cfg.Actions,
+		alpha:    cfg.Alpha / float64(coder.Tilings()),
+		gamma:    cfg.Gamma,
+		lambda:   cfg.Lambda,
+		epsStart: cfg.EpsilonStart,
+		epsEnd:   cfg.EpsilonEnd,
+		epsDecay: cfg.EpsilonDecay,
+		r:        r,
+		scratch:  make([]int, coder.Tilings()),
+	}
+	a.weights = make([][]float64, cfg.Actions)
+	for i := range a.weights {
+		a.weights[i] = make([]float64, coder.Features())
+	}
+	if cfg.Lambda > 0 {
+		a.elig = make([][]float64, cfg.Actions)
+		for i := range a.elig {
+			a.elig[i] = make([]float64, coder.Features())
+		}
+	}
+	return a, nil
+}
+
+// Q returns the approximate action value at continuous state x.
+func (a *LinearAgent) Q(x []float64, act int) float64 {
+	tiles := a.coder.ActiveTiles(x, a.scratch)
+	return a.qTiles(tiles, act)
+}
+
+func (a *LinearAgent) qTiles(tiles []int, act int) float64 {
+	sum := 0.0
+	for _, f := range tiles {
+		sum += a.weights[act][f]
+	}
+	return sum
+}
+
+// Epsilon returns the current exploration rate.
+func (a *LinearAgent) Epsilon() float64 {
+	return a.epsEnd + (a.epsStart-a.epsEnd)*math.Pow(a.epsDecay, float64(a.steps))
+}
+
+func (a *LinearAgent) selectAction(tiles []int) int {
+	if a.r.Float64() < a.Epsilon() {
+		return a.r.Intn(a.actions)
+	}
+	best, bestV := 0, a.qTiles(tiles, 0)
+	for act := 1; act < a.actions; act++ {
+		if v := a.qTiles(tiles, act); v > bestV {
+			best, bestV = act, v
+		}
+	}
+	return best
+}
+
+// Begin starts an episode at state x and returns the first action.
+func (a *LinearAgent) Begin(x []float64) int {
+	tiles := append([]int(nil), a.coder.ActiveTiles(x, a.scratch)...)
+	act := a.selectAction(tiles)
+	a.lastTiles, a.lastAct = tiles, act
+	a.started = true
+	return act
+}
+
+// Step learns from the reward and returns the next action (SARSA target;
+// on-policy is the stable choice under function approximation).
+func (a *LinearAgent) Step(reward float64, x []float64) int {
+	if !a.started {
+		panic("rl: Step before Begin")
+	}
+	tiles := append([]int(nil), a.coder.ActiveTiles(x, a.scratch)...)
+	nextAct := a.selectAction(tiles)
+
+	delta := reward + a.gamma*a.qTiles(tiles, nextAct) - a.qTiles(a.lastTiles, a.lastAct)
+	if a.elig == nil {
+		for _, f := range a.lastTiles {
+			a.weights[a.lastAct][f] += a.alpha * delta
+		}
+	} else {
+		for _, f := range a.lastTiles {
+			a.elig[a.lastAct][f] = 1 // replacing traces
+		}
+		decay := a.gamma * a.lambda
+		for act := range a.elig {
+			for f, e := range a.elig[act] {
+				if e == 0 {
+					continue
+				}
+				a.weights[act][f] += a.alpha * delta * e
+				e *= decay
+				if e < 1e-8 {
+					e = 0
+				}
+				a.elig[act][f] = e
+			}
+		}
+	}
+
+	a.lastTiles, a.lastAct = tiles, nextAct
+	a.steps++
+	return nextAct
+}
+
+// Greedy returns the greedy action at x without exploring or learning.
+func (a *LinearAgent) Greedy(x []float64) int {
+	tiles := a.coder.ActiveTiles(x, a.scratch)
+	best, bestV := 0, a.qTiles(tiles, 0)
+	for act := 1; act < a.actions; act++ {
+		if v := a.qTiles(tiles, act); v > bestV {
+			best, bestV = act, v
+		}
+	}
+	return best
+}

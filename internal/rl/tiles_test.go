@@ -1,0 +1,293 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func testCoder(t *testing.T) *TileCoder {
+	t.Helper()
+	tc, err := NewTileCoder([]float64{0, 0}, []float64{1, 1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestNewTileCoderValidation(t *testing.T) {
+	cases := []struct {
+		lows, highs []float64
+		tiles, til  int
+	}{
+		{nil, nil, 8, 4},
+		{[]float64{0}, []float64{0, 1}, 8, 4},
+		{[]float64{0}, []float64{0}, 8, 4},
+		{[]float64{1}, []float64{0}, 8, 4},
+		{[]float64{0}, []float64{1}, 0, 4},
+		{[]float64{0}, []float64{1}, 8, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewTileCoder(c.lows, c.highs, c.tiles, c.til); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestActiveTilesShape(t *testing.T) {
+	tc := testCoder(t)
+	tiles := tc.ActiveTiles([]float64{0.5, 0.5}, nil)
+	if len(tiles) != 4 {
+		t.Fatalf("got %d active tiles, want 4 (one per tiling)", len(tiles))
+	}
+	seen := map[int]bool{}
+	for _, f := range tiles {
+		if f < 0 || f >= tc.Features() {
+			t.Fatalf("feature %d out of range [0,%d)", f, tc.Features())
+		}
+		if seen[f] {
+			t.Fatal("duplicate active feature")
+		}
+		seen[f] = true
+	}
+}
+
+func TestActiveTilesClampOutOfRange(t *testing.T) {
+	tc := testCoder(t)
+	lo := tc.ActiveTiles([]float64{-5, -5}, nil)
+	lo2 := tc.ActiveTiles([]float64{0, 0}, nil)
+	for i := range lo {
+		if lo[i] != lo2[i] {
+			t.Fatal("below-range state did not clamp to the low corner")
+		}
+	}
+}
+
+func TestActiveTilesLocality(t *testing.T) {
+	// Nearby states share most tiles; distant states share none.
+	tc := testCoder(t)
+	a := append([]int(nil), tc.ActiveTiles([]float64{0.50, 0.50}, nil)...)
+	b := append([]int(nil), tc.ActiveTiles([]float64{0.52, 0.52}, nil)...)
+	c := append([]int(nil), tc.ActiveTiles([]float64{0.95, 0.05}, nil)...)
+	shared := func(x, y []int) int {
+		set := map[int]bool{}
+		for _, v := range x {
+			set[v] = true
+		}
+		n := 0
+		for _, v := range y {
+			if set[v] {
+				n++
+			}
+		}
+		return n
+	}
+	if shared(a, b) < 3 {
+		t.Fatalf("nearby states share only %d/4 tiles", shared(a, b))
+	}
+	if shared(a, c) != 0 {
+		t.Fatalf("distant states share %d tiles, want 0", shared(a, c))
+	}
+}
+
+func TestActiveTilesPanicsOnWrongDims(t *testing.T) {
+	tc := testCoder(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tc.ActiveTiles([]float64{0.5}, nil)
+}
+
+func TestNewLinearAgentValidation(t *testing.T) {
+	tc := testCoder(t)
+	good := LinearConfig{Actions: 3, Alpha: 0.1, Gamma: 0.9, EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999}
+	if _, err := NewLinearAgent(tc, good, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LinearConfig{
+		{Actions: 0, Alpha: 0.1, Gamma: 0.9, EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999},
+		{Actions: 3, Alpha: 0, Gamma: 0.9, EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999},
+		{Actions: 3, Alpha: 0.1, Gamma: 1.0, EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999},
+		{Actions: 3, Alpha: 0.1, Gamma: 0.9, Lambda: 1.0, EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999},
+		{Actions: 3, Alpha: 0.1, Gamma: 0.9, EpsilonStart: 2, EpsilonEnd: 0.01, EpsilonDecay: 0.999},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLinearAgent(tc, cfg, rng.New(1)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewLinearAgent(nil, good, rng.New(1)); err == nil {
+		t.Fatal("expected error for nil coder")
+	}
+	if _, err := NewLinearAgent(tc, good, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+// Continuous bandit: reward peaks when the action matches which half of
+// the state space x lives in. The linear agent must learn the mapping.
+func TestLinearAgentLearnsStateDependentPolicy(t *testing.T) {
+	tc, err := NewTileCoder([]float64{0}, []float64{1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinearConfig{
+		Actions: 2, Alpha: 0.2, Gamma: 0.0,
+		EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999,
+	}
+	a, err := NewLinearAgent(tc, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	x := []float64{r.Float64()}
+	act := a.Begin(x)
+	for i := 0; i < 20000; i++ {
+		want := 0
+		if x[0] > 0.5 {
+			want = 1
+		}
+		reward := 0.0
+		if act == want {
+			reward = 1.0
+		}
+		x = []float64{r.Float64()}
+		act = a.Step(reward, x)
+	}
+	// Policy check across the state space.
+	for _, v := range []float64{0.1, 0.3, 0.7, 0.9} {
+		want := 0
+		if v > 0.5 {
+			want = 1
+		}
+		if got := a.Greedy([]float64{v}); got != want {
+			t.Fatalf("state %v: greedy action %d, want %d", v, got, want)
+		}
+	}
+}
+
+// With eligibility traces the agent must still solve a delayed-reward
+// chain over continuous states.
+func TestLinearAgentTracesChain(t *testing.T) {
+	tc, err := NewTileCoder([]float64{0}, []float64{1}, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinearConfig{
+		Actions: 2, Alpha: 0.1, Gamma: 0.9, Lambda: 0.8,
+		EpsilonStart: 0.5, EpsilonEnd: 0.02, EpsilonDecay: 0.9995,
+	}
+	a, err := NewLinearAgent(tc, cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State is position in [0,1]; action 1 moves +0.25, action 0 moves
+	// −0.25 (clamped); reward 1 on reaching the right end, then teleport.
+	pos := 0.0
+	act := a.Begin([]float64{pos})
+	for i := 0; i < 40000; i++ {
+		if act == 1 {
+			pos += 0.25
+		} else {
+			pos -= 0.25
+		}
+		if pos < 0 {
+			pos = 0
+		}
+		reward := 0.0
+		if pos >= 0.99 {
+			reward = 1
+			pos = 0
+		}
+		act = a.Step(reward, []float64{pos})
+	}
+	for _, v := range []float64{0.0, 0.25, 0.5, 0.75} {
+		if a.Greedy([]float64{v}) != 1 {
+			t.Fatalf("state %v: greedy action %d, want 1 (right)", v, a.Greedy([]float64{v}))
+		}
+	}
+}
+
+func TestLinearAgentStepBeforeBeginPanics(t *testing.T) {
+	tc := testCoder(t)
+	a, _ := NewLinearAgent(tc, LinearConfig{
+		Actions: 2, Alpha: 0.1, Gamma: 0.9,
+		EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999,
+	}, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Step(1, []float64{0.5, 0.5})
+}
+
+// Property: Q starts at zero everywhere and active tile sets are stable
+// (same state → same tiles).
+func TestQuickTileCoderDeterministic(t *testing.T) {
+	tc := testCoder(t)
+	f := func(xr, yr uint16) bool {
+		x := []float64{float64(xr) / 65535, float64(yr) / 65535}
+		a := append([]int(nil), tc.ActiveTiles(x, nil)...)
+		b := tc.ActiveTiles(x, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearAgentQInitiallyZero(t *testing.T) {
+	tc := testCoder(t)
+	a, _ := NewLinearAgent(tc, LinearConfig{
+		Actions: 2, Alpha: 0.1, Gamma: 0.9,
+		EpsilonStart: 0.5, EpsilonEnd: 0.01, EpsilonDecay: 0.999,
+	}, rng.New(1))
+	if v := a.Q([]float64{0.3, 0.7}, 1); math.Abs(v) > 1e-12 {
+		t.Fatalf("fresh Q = %v, want 0", v)
+	}
+}
+
+// Property: weights stay finite under arbitrary bounded-reward streams —
+// the alpha/tilings normalisation must keep linear SARSA stable.
+func TestQuickLinearAgentStaysFinite(t *testing.T) {
+	tc, err := NewTileCoder([]float64{0}, []float64{1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, rewards []int8) bool {
+		a, err := NewLinearAgent(tc, LinearConfig{
+			Actions: 3, Alpha: 0.5, Gamma: 0.9, Lambda: 0.7,
+			EpsilonStart: 0.3, EpsilonEnd: 0.05, EpsilonDecay: 0.999,
+		}, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed + 1)
+		a.Begin([]float64{r.Float64()})
+		for _, rw := range rewards {
+			a.Step(float64(rw)/128, []float64{r.Float64()})
+		}
+		for _, v := range []float64{0, 0.5, 1} {
+			for act := 0; act < 3; act++ {
+				q := a.Q([]float64{v}, act)
+				if math.IsNaN(q) || math.IsInf(q, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package rl
+
+import "math"
+
+// UCB is an exploration policy based on upper confidence bounds (UCB1):
+// the agent picks argmax_a Q(s,a) + c·sqrt(ln N(s) / n(s,a)), preferring
+// actions whose value estimate is still uncertain. Unlike ε-greedy it
+// explores systematically rather than uniformly, and it needs no decay
+// schedule — the bonus vanishes as visit counts grow. The ε schedule
+// fields are ignored; Config.UCBc sets the exploration constant.
+const UCB PolicyKind = 2
+
+// ucbState holds per-(state,action) visit counts; allocated lazily only
+// for UCB agents.
+type ucbState struct {
+	visits      []float64 // n(s,a)
+	stateVisits []float64 // N(s)
+}
+
+// selectUCB picks the UCB1 action at state s and records the visit.
+func (a *Agent) selectUCB(s int) int {
+	u := a.ucb
+	base := s * a.cfg.Actions
+	// Untried actions first, in index order (deterministic).
+	for act := 0; act < a.cfg.Actions; act++ {
+		if u.visits[base+act] == 0 {
+			u.visits[base+act]++
+			u.stateVisits[s]++
+			return act
+		}
+	}
+	logN := math.Log(u.stateVisits[s])
+	bestAct, bestVal := 0, math.Inf(-1)
+	for act := 0; act < a.cfg.Actions; act++ {
+		v := a.valueOf(s, act) + a.cfg.UCBc*math.Sqrt(logN/u.visits[base+act])
+		if v > bestVal {
+			bestAct, bestVal = act, v
+		}
+	}
+	u.visits[base+bestAct]++
+	u.stateVisits[s]++
+	return bestAct
+}
+
+// Visits returns n(s,a) for inspection; zero for non-UCB agents.
+func (a *Agent) Visits(s, act int) float64 {
+	if a.ucb == nil {
+		return 0
+	}
+	return a.ucb.visits[s*a.cfg.Actions+act]
+}

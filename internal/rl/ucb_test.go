@@ -1,0 +1,122 @@
+package rl
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func ucbConfig() Config {
+	c := baseConfig()
+	c.Policy = UCB
+	c.UCBc = 1.0
+	return c
+}
+
+func TestUCBConfigValidation(t *testing.T) {
+	c := ucbConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.UCBc = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("UCB with zero constant must be rejected")
+	}
+	c.UCBc = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("UCB with negative constant must be rejected")
+	}
+}
+
+func TestUCBTriesEveryActionFirst(t *testing.T) {
+	cfg := ucbConfig()
+	cfg.States = 1
+	cfg.Actions = 5
+	a, err := NewAgent(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	act := a.Begin(0)
+	seen[act] = true
+	for i := 0; i < 4; i++ {
+		act = a.Step(0, 0)
+		seen[act] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("first 5 picks covered %d distinct actions, want all 5", len(seen))
+	}
+	for act := 0; act < 5; act++ {
+		if a.Visits(0, act) != 1 {
+			t.Fatalf("action %d visited %v times after the sweep", act, a.Visits(0, act))
+		}
+	}
+}
+
+func TestUCBSolvesBandit(t *testing.T) {
+	cfg := ucbConfig()
+	cfg.States = 1
+	cfg.Actions = 4
+	a, err := NewAgent(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := a.Begin(0)
+	for i := 0; i < 4000; i++ {
+		reward := 0.1
+		if act == 2 {
+			reward = 1.0
+		}
+		act = a.Step(reward, 0)
+	}
+	if a.Greedy(0) != 2 {
+		t.Fatalf("UCB greedy action = %d, want 2", a.Greedy(0))
+	}
+	// The best arm must dominate visit counts.
+	if a.Visits(0, 2) < 2000 {
+		t.Fatalf("best arm visited only %v of 4000 steps", a.Visits(0, 2))
+	}
+}
+
+func TestUCBSolvesChain(t *testing.T) {
+	cfg := ucbConfig()
+	cfg.Alpha = 0.2
+	a, err := NewAgent(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0
+	act := a.Begin(s)
+	for i := 0; i < 30000; i++ {
+		next := s
+		if act == 1 {
+			next++
+		} else {
+			next--
+		}
+		if next < 0 {
+			next = 0
+		}
+		reward := 0.0
+		if next == 3 {
+			reward = 1.0
+			next = 0
+		}
+		act = a.Step(reward, next)
+		s = next
+	}
+	for st := 0; st < 3; st++ {
+		if a.Greedy(st) != 1 {
+			t.Fatalf("UCB chain: state %d greedy = %d, want 1", st, a.Greedy(st))
+		}
+	}
+}
+
+func TestVisitsZeroForNonUCB(t *testing.T) {
+	a, _ := NewAgent(baseConfig(), rng.New(1))
+	a.Begin(0)
+	a.Step(1, 0)
+	if a.Visits(0, 0) != 0 {
+		t.Fatal("non-UCB agent reported visit counts")
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/variation"
+)
+
+// Integration tests: the paper's headline orderings must emerge from the
+// assembled system at moderate scale. These runs take a few seconds each;
+// `go test -short` skips them.
+
+func integrationOpts() Options {
+	o := DefaultOptions()
+	o.Cores = 36
+	o.BudgetW = 32
+	o.WarmupS = 2
+	o.MeasureS = 2
+	return o
+}
+
+func TestHeadlineOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := integrationOpts()
+	results, err := RunAll(opts, []string{"od-rl", "maxbips", "steepest-drop", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Summary.Controller] = r
+	}
+	odrl := byName["od-rl"].Summary
+	maxbips := byName["maxbips"].Summary
+	steepest := byName["steepest-drop"].Summary
+	pid := byName["pid"].Summary
+
+	// C1: OD-RL's overshoot is far below the overshooting baselines.
+	if odrl.OverJ >= steepest.OverJ {
+		t.Errorf("od-rl overshoot %v not below steepest-drop %v", odrl.OverJ, steepest.OverJ)
+	}
+	if odrl.OverJ >= pid.OverJ/10 {
+		t.Errorf("od-rl overshoot %v not an order below pid %v", odrl.OverJ, pid.OverJ)
+	}
+
+	// C3: OD-RL is the most energy-efficient of the four.
+	for _, s := range []struct {
+		name string
+		eff  float64
+	}{
+		{"maxbips", maxbips.EnergyEff()},
+		{"steepest-drop", steepest.EnergyEff()},
+		{"pid", pid.EnergyEff()},
+	} {
+		if odrl.EnergyEff() <= s.eff {
+			t.Errorf("od-rl efficiency %v not above %s %v", odrl.EnergyEff(), s.name, s.eff)
+		}
+	}
+
+	// The global optimiser buys its budget-filling throughput lead — if it
+	// did not, our baseline would be suspiciously weak.
+	if maxbips.BIPS() <= odrl.BIPS() {
+		t.Errorf("maxbips BIPS %v should exceed od-rl %v", maxbips.BIPS(), odrl.BIPS())
+	}
+
+	// C4 (cost side): the optimiser's decide time dwarfs OD-RL's.
+	if maxbips.CtrlTimeS <= odrl.CtrlTimeS {
+		t.Errorf("maxbips controller time %v not above od-rl %v (cadence-adjusted cost)",
+			maxbips.CtrlTimeS, odrl.CtrlTimeS)
+	}
+}
+
+func TestODRLComplianceUnderVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := integrationOpts()
+	vp := variation.Default()
+	vp.LeakSigma = 0.6
+	opts.Variation = &vp
+	env, err := EnvFor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController("od-rl", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(opts, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even on a heavily varied die the learner keeps overshoot negligible:
+	// under 0.5% of the budgeted energy.
+	if norm := res.Summary.OvershootNorm(); norm > 0.005 {
+		t.Fatalf("od-rl overshoot fraction %v on a varied die", norm)
+	}
+}
+
+func TestIslandGranularityCostsEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	run := func(iw, ih int) float64 {
+		opts := integrationOpts()
+		opts.IslandW, opts.IslandH = iw, ih
+		env, err := EnvFor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewController("od-rl", env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(opts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.EnergyEff()
+	}
+	perCore := run(1, 1)
+	chipWide := run(6, 6) // 36 cores → 6x6 grid
+	if perCore <= chipWide {
+		t.Fatalf("per-core efficiency %v not above chip-wide %v", perCore, chipWide)
+	}
+}
+
+func TestCapEventRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := integrationOpts()
+	opts.BudgetW = 45
+	opts.BudgetSchedule = []BudgetStep{{AtS: 3, BudgetW: 25}}
+	opts.TracePoints = 200
+	for _, name := range []string{"od-rl", "pid"} {
+		env, err := EnvFor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewController(name, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(opts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean power over the final 0.5 s must sit at or under the new cap
+		// (small tolerance for the capper's limit cycling).
+		var sum float64
+		var n int
+		for _, p := range res.Trace {
+			if p.TimeS >= 3.5 {
+				sum += p.PowerW
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: no trace points after the cap event", name)
+		}
+		if mean := sum / float64(n); mean > 25*1.05 {
+			t.Errorf("%s: mean power %v W after the cap event, cap is 25 W", name, mean)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ctrl"
+	"repro/internal/manycore"
+	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/variation"
+	"repro/internal/workload"
+)
+
+// TracePoint is one decimated sample of the measured power trace.
+type TracePoint struct {
+	TimeS    float64
+	PowerW   float64
+	BudgetW  float64
+	MaxTempK float64
+}
+
+// Result is one finished run.
+type Result struct {
+	Summary metrics.Summary
+	// Trace is the decimated power trace (empty unless TracePoints > 0).
+	Trace []TracePoint
+	// FinalLevels is the VF assignment at the end of the run.
+	FinalLevels []int
+}
+
+// buildSources constructs per-core workload sources per the options.
+func buildSources(opts Options, r *rng.RNG) ([]workload.Source, error) {
+	if opts.Workload == "barrier" {
+		// A bulk-synchronous app across all cores: compute-heavy work
+		// phases, ~20% lane imbalance, a superstep quota of roughly 8 ms
+		// of work at the top operating point.
+		work := workload.Phase{
+			Class: workload.Compute, BaseCPI: 0.85, MPKI: 2.0,
+			MemLatencyNs: 75, Activity: 0.9,
+		}
+		app, err := workload.NewBarrierApp(opts.Cores, work, 30e6, 0.2, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		sources := make([]workload.Source, opts.Cores)
+		for i := range sources {
+			sources[i] = app.Lane(i)
+		}
+		return sources, nil
+	}
+	if tr := opts.WorkloadTrace; tr != nil {
+		total := tr.TotalDurS()
+		sources := make([]workload.Source, opts.Cores)
+		for i := range sources {
+			rep, err := workload.NewReplayer(*tr)
+			if err != nil {
+				return nil, err
+			}
+			// Stagger starting positions so cores are decorrelated while
+			// replaying the identical realisation.
+			rep.Advance(total * float64(i) / float64(opts.Cores))
+			sources[i] = rep
+		}
+		return sources, nil
+	}
+	var specs []workload.Spec
+	if opts.Workload == "mix" {
+		for _, name := range workload.PresetNames() {
+			specs = append(specs, workload.MustPreset(name))
+		}
+	} else {
+		s, err := workload.Preset(opts.Workload)
+		if err != nil {
+			return nil, err
+		}
+		specs = []workload.Spec{s}
+	}
+	sources := make([]workload.Source, opts.Cores)
+	for i := range sources {
+		scale := 1.0
+		if j := opts.WorkloadScaleJitter; j > 0 {
+			scale = 1 + j*(2*r.Float64()-1)
+		}
+		p, err := workload.NewScaledProcess(specs[i%len(specs)], r.Split(), scale)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = p
+	}
+	return sources, nil
+}
+
+// NewChip assembles the chip and mesh an options set describes, without
+// running anything. Experiments that need custom epoch loops (convergence
+// tracking, interactive drivers) build on this.
+func NewChip(opts Options) (*manycore.Chip, *noc.Mesh, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w, h, err := GridFor(opts.Cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	plat := config.Default()
+	if opts.Platform != nil {
+		plat = *opts.Platform
+	}
+	table, err := plat.VFTable()
+	if err != nil {
+		return nil, nil, err
+	}
+	base := rng.New(opts.Seed)
+	sources, err := buildSources(opts, base.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := manycore.Config{
+		Width:              w,
+		Height:             h,
+		VF:                 table,
+		Power:              plat.Power,
+		Thermal:            plat.Thermal,
+		ThermalEnabled:     !opts.ThermalOff,
+		SensorNoise:        opts.SensorNoise,
+		TransitionPenaltyS: plat.TransitionPenaltyS,
+		InitialLevel:       0,
+		IslandW:            opts.IslandW,
+		IslandH:            opts.IslandH,
+	}
+	if opts.Variation != nil {
+		vmap, err := variation.Generate(w, h, *opts.Variation)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Variation = vmap
+	}
+	if opts.BigLittle {
+		cfg.CoreTypes = manycore.BigLittleTypes()
+		cfg.TypeOf = make([]int, w*h)
+		for i := range cfg.TypeOf {
+			if i%w >= w/2 {
+				cfg.TypeOf[i] = 1 // little cores on the right half
+			}
+		}
+	}
+	chip, err := manycore.New(cfg, sources, base.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+	mesh, err := noc.New(w, h, plat.NoC)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chip, mesh, nil
+}
+
+// Run executes one simulation with the given controller and returns its
+// measured summary. The controller is driven every epoch over warmup and
+// measurement; metrics cover the measurement window only.
+func Run(opts Options, c ctrl.Controller) (Result, error) {
+	if c == nil {
+		return Result{}, fmt.Errorf("sim: nil controller")
+	}
+	chip, mesh, err := NewChip(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := chip.Config()
+
+	warmupEpochs := int(opts.WarmupS/opts.EpochS + 0.5)
+	measureEpochs := int(opts.MeasureS/opts.EpochS + 0.5)
+	totalEpochs := warmupEpochs + measureEpochs
+
+	traceEvery := 0
+	if opts.TracePoints > 0 {
+		traceEvery = measureEpochs / opts.TracePoints
+		if traceEvery < 1 {
+			traceEvery = 1
+		}
+	}
+
+	var (
+		meter      power.Meter
+		instrStart float64
+		maxTempK   = cfg.Thermal.AmbientK
+		ctrlTime   time.Duration
+		trace      []TracePoint
+	)
+	out := make([]int, opts.Cores)
+
+	for e := 0; e < totalEpochs; e++ {
+		if e == warmupEpochs {
+			instrStart = chip.Instructions()
+		}
+		tStart := chip.TimeS()
+		budget := opts.budgetAt(tStart)
+		tel := chip.Step(opts.EpochS)
+
+		measuring := e >= warmupEpochs
+		if measuring {
+			meter.Add(tel.TruePowerW, budget, opts.EpochS)
+			if t := chip.MaxTempK(); t > maxTempK {
+				maxTempK = t
+			}
+			if traceEvery > 0 && (e-warmupEpochs)%traceEvery == 0 {
+				trace = append(trace, TracePoint{
+					TimeS:    tel.TimeS,
+					PowerW:   tel.TruePowerW,
+					BudgetW:  budget,
+					MaxTempK: chip.MaxTempK(),
+				})
+			}
+		}
+
+		start := time.Now()
+		c.Decide(&tel, budget, out)
+		if measuring {
+			ctrlTime += time.Since(start)
+		}
+		for i, l := range out {
+			chip.SetLevel(i, l)
+		}
+	}
+
+	comm := c.CommPerEpoch(mesh)
+	summary := metrics.Summary{
+		Controller:   c.Name(),
+		Workload:     opts.Workload,
+		Cores:        opts.Cores,
+		BudgetW:      opts.BudgetW,
+		DurS:         meter.TimeS(),
+		Instr:        chip.Instructions() - instrStart,
+		EnergyJ:      meter.EnergyJ(),
+		OverJ:        meter.OverBudgetJ(),
+		OverTimeS:    meter.OverBudgetTimeS(),
+		PeakW:        meter.PeakW(),
+		MeanW:        meter.MeanW(),
+		MaxTempK:     maxTempK,
+		CtrlTimeS:    ctrlTime.Seconds(),
+		CommEnergyJ:  comm.EnergyJ * float64(measureEpochs),
+		CommLatencyS: comm.LatencyS * float64(measureEpochs),
+	}
+	if err := summary.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: inconsistent summary: %w", err)
+	}
+	levels := make([]int, opts.Cores)
+	for i := range levels {
+		levels[i] = chip.Level(i)
+	}
+	return Result{Summary: summary, Trace: trace, FinalLevels: levels}, nil
+}
+
+// EnvFor builds the controller environment matching an options set: the
+// same VF table and power constants the simulated chip will use, with the
+// centralised decision cadence pinned to ~10 ms of simulated time.
+func EnvFor(opts Options) (Env, error) {
+	env := DefaultEnv(opts.Cores)
+	env.Seed = opts.Seed
+	if opts.EpochS > 0 {
+		cadence := int(10e-3/opts.EpochS + 0.5)
+		if cadence < 1 {
+			cadence = 1
+		}
+		env.CadenceEpochs = cadence
+	}
+	if opts.Platform != nil {
+		table, err := opts.Platform.VFTable()
+		if err != nil {
+			return Env{}, err
+		}
+		env.VF = table
+		env.Power = opts.Platform.Power
+	}
+	return env, nil
+}
+
+// RunAll runs the same options against a list of controller names built
+// from EnvFor, returning results in the given order.
+func RunAll(opts Options, names []string) ([]Result, error) {
+	results := make([]Result, 0, len(names))
+	for _, name := range names {
+		env, err := EnvFor(opts)
+		if err != nil {
+			return nil, err
+		}
+		c, err := NewController(name, env)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(opts, c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: running %s: %w", name, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// RunExperiment executes a config.Experiment: one run per controller on the
+// experiment's platform and scenario.
+func RunExperiment(exp config.Experiment) ([]Result, error) {
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	opts := DefaultOptions()
+	opts.Cores = exp.Cores
+	opts.Workload = exp.Workload
+	opts.BudgetW = exp.BudgetW
+	opts.EpochS = exp.EpochS
+	opts.WarmupS = exp.WarmupS
+	opts.MeasureS = exp.MeasureS
+	opts.Seed = exp.Seed
+	opts.SensorNoise = exp.SensorNoise
+	opts.ThermalOff = exp.ThermalOff
+	plat := exp.Platform
+	opts.Platform = &plat
+	for _, s := range exp.BudgetSchedule {
+		opts.BudgetSchedule = append(opts.BudgetSchedule, BudgetStep{AtS: s.AtS, BudgetW: s.BudgetW})
+	}
+	return RunAll(opts, exp.Controllers)
+}
+
+// SortByName orders results alphabetically by controller, for stable table
+// output when callers assemble results from concurrent runs.
+func SortByName(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		return rs[i].Summary.Controller < rs[j].Summary.Controller
+	})
+}

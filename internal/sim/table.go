@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// epsilonOverJ is the floor used when reporting throughput per
+// over-the-budget joule: one epoch at one watt of overshoot, the smallest
+// overshoot the harness can resolve.
+const epsilonOverJ = 1e-3
+
+// WriteSummaryTable renders results as an aligned text table with the
+// metrics the paper's evaluation reports.
+func WriteSummaryTable(w io.Writer, results []Result) error {
+	header := []string{
+		"controller", "workload", "cores", "budget(W)",
+		"BIPS", "mean(W)", "peak(W)",
+		"over(J)", "over-time(%)", "BIPS/overJ", "BIPS/W", "ctrl(ms)",
+	}
+	rows := [][]string{header}
+	for _, r := range results {
+		s := r.Summary
+		rows = append(rows, []string{
+			s.Controller,
+			s.Workload,
+			fmt.Sprintf("%d", s.Cores),
+			fmt.Sprintf("%.1f", s.BudgetW),
+			fmt.Sprintf("%.2f", s.BIPS()),
+			fmt.Sprintf("%.1f", s.MeanW),
+			fmt.Sprintf("%.1f", s.PeakW),
+			fmt.Sprintf("%.3f", s.OverJ),
+			fmt.Sprintf("%.2f", 100*s.OverTimeFrac()),
+			fmt.Sprintf("%.2f", s.ThroughputPerOverJ(epsilonOverJ)),
+			fmt.Sprintf("%.3f", s.EnergyEff()),
+			fmt.Sprintf("%.3f", s.CtrlTimeS*1e3),
+		})
+	}
+	return writeAligned(w, rows)
+}
+
+// WriteCSV renders results as CSV with one row per result.
+func WriteCSV(w io.Writer, results []Result) error {
+	if _, err := fmt.Fprintln(w,
+		"controller,workload,cores,budget_w,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_over_j,bips_per_w,ctrl_s,comm_j,max_temp_k"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		s := r.Summary
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+			s.Controller, s.Workload, s.Cores, s.BudgetW,
+			s.BIPS(), s.MeanW, s.PeakW, s.OverJ, s.OverTimeFrac(),
+			s.ThroughputPerOverJ(epsilonOverJ), s.EnergyEff(),
+			s.CtrlTimeS, s.CommEnergyJ, s.MaxTempK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrace renders a power trace as CSV.
+func WriteTrace(w io.Writer, label string, trace []TracePoint) error {
+	if _, err := fmt.Fprintln(w, "controller,time_s,power_w,budget_w,max_temp_k"); err != nil {
+		return err
+	}
+	for _, p := range trace {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.3f,%.1f,%.2f\n",
+			label, p.TimeS, p.PowerW, p.BudgetW, p.MaxTempK); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAligned pads each column to its widest cell.
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RelativeTo returns ratio rows comparing every result's metric against the
+// named reference controller, used for "X× better than" style reporting.
+func RelativeTo(results []Result, reference string, metric func(metrics.Summary) float64) (map[string]float64, error) {
+	var ref *Result
+	for i := range results {
+		if results[i].Summary.Controller == reference {
+			ref = &results[i]
+			break
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("sim: reference controller %q not in results", reference)
+	}
+	refV := metric(ref.Summary)
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		if refV == 0 {
+			out[r.Summary.Controller] = 0
+			continue
+		}
+		out[r.Summary.Controller] = metric(r.Summary) / refV
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Fatalf("Mean = %v, want 7", got)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestStdDev(t *testing.T) {
+	// Known sample: {2,4,4,4,5,5,7,9} has sample stddev sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("single-sample StdDev = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0, 2})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{9}, 50); got != 9 {
+		t.Fatalf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentilePanicsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single-sample CI must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+}
+
+// Property: mean lies within [min, max] and geomean ≤ mean (AM–GM).
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // positive
+		}
+		m := Mean(xs)
+		min, max := MinMax(xs)
+		if m < min-1e-9 || m > max+1e-9 {
+			return false
+		}
+		return GeoMean(xs) <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

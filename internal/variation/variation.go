@@ -1,0 +1,209 @@
+// Package variation models manufacturing process variation: per-core
+// multipliers on leakage and dynamic power, drawn from a spatially
+// correlated lognormal field.
+//
+// Process variation is the natural stress test for the two controller
+// families this repository compares. A model-based power manager carries
+// nominal technology constants, so on a leaky die its per-core power
+// predictions are systematically wrong; a model-free learner never had a
+// model to invalidate — each core's agent simply learns its own silicon.
+// Experiment F11 quantifies exactly this gap.
+package variation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Params describe the variation magnitude and spatial structure.
+type Params struct {
+	// LeakSigma is the log-domain standard deviation of the leakage
+	// multiplier. 0.3 gives roughly ±30% core-to-core leakage spread,
+	// typical of scaled planar technologies.
+	LeakSigma float64
+	// DynSigma is the log-domain standard deviation of the dynamic-power
+	// multiplier (effective capacitance spread); much smaller than leakage
+	// in practice.
+	DynSigma float64
+	// FreqSigma is the log-domain standard deviation of the per-core
+	// achievable-frequency multiplier (critical-path spread): a core with
+	// multiplier 0.95 runs 5% slower than nominal at every VF level.
+	FreqSigma float64
+	// CorrPasses is the number of nearest-neighbour smoothing passes
+	// applied to the random field; more passes mean longer spatial
+	// correlation distance. Zero means white (uncorrelated) variation.
+	CorrPasses int
+	// Seed drives the field realisation: one seed is one die.
+	Seed uint64
+}
+
+// Default returns a moderate 22 nm-class variation profile: 30% leakage
+// spread, 8% dynamic spread, correlation over a few cores.
+func Default() Params {
+	return Params{LeakSigma: 0.30, DynSigma: 0.08, FreqSigma: 0.05, CorrPasses: 2, Seed: 1}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.LeakSigma < 0 || p.LeakSigma > 2:
+		return fmt.Errorf("variation: LeakSigma %g out of [0,2]", p.LeakSigma)
+	case p.DynSigma < 0 || p.DynSigma > 2:
+		return fmt.Errorf("variation: DynSigma %g out of [0,2]", p.DynSigma)
+	case p.FreqSigma < 0 || p.FreqSigma > 1:
+		return fmt.Errorf("variation: FreqSigma %g out of [0,1]", p.FreqSigma)
+	case p.CorrPasses < 0:
+		return fmt.Errorf("variation: negative CorrPasses %d", p.CorrPasses)
+	}
+	return nil
+}
+
+// Map is one die's realised variation: per-core multipliers, mean ≈ 1.
+type Map struct {
+	W, H     int
+	LeakMult []float64
+	DynMult  []float64
+	FreqMult []float64
+}
+
+// Validate reports structural problems.
+func (m *Map) Validate() error {
+	if m.W <= 0 || m.H <= 0 {
+		return fmt.Errorf("variation: invalid grid %dx%d", m.W, m.H)
+	}
+	n := m.W * m.H
+	if len(m.LeakMult) != n || len(m.DynMult) != n || len(m.FreqMult) != n {
+		return fmt.Errorf("variation: multiplier vectors sized %d/%d/%d for %d cores",
+			len(m.LeakMult), len(m.DynMult), len(m.FreqMult), n)
+	}
+	for i := 0; i < n; i++ {
+		if m.LeakMult[i] <= 0 || m.DynMult[i] <= 0 || m.FreqMult[i] <= 0 {
+			return fmt.Errorf("variation: non-positive multiplier at core %d", i)
+		}
+	}
+	return nil
+}
+
+// correlatedField samples a unit-variance Gaussian field on a w×h grid and
+// smooths it with nearest-neighbour averaging passes, re-normalising the
+// sample variance after smoothing so sigma stays meaningful.
+func correlatedField(w, h int, passes int, r *rng.RNG) []float64 {
+	n := w * h
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = r.NormFloat64()
+	}
+	tmp := make([]float64, n)
+	for p := 0; p < passes; p++ {
+		for i := 0; i < n; i++ {
+			x, y := i%w, i/w
+			sum := f[i]
+			cnt := 1.0
+			if x > 0 {
+				sum += f[i-1]
+				cnt++
+			}
+			if x < w-1 {
+				sum += f[i+1]
+				cnt++
+			}
+			if y > 0 {
+				sum += f[i-w]
+				cnt++
+			}
+			if y < h-1 {
+				sum += f[i+w]
+				cnt++
+			}
+			tmp[i] = sum / cnt
+		}
+		f, tmp = tmp, f
+	}
+	// Re-normalise to unit sample variance (smoothing shrinks it). A
+	// single-node grid or an all-equal field keeps its values as-is.
+	mean := 0.0
+	for _, v := range f {
+		mean += v
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, v := range f {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(n)
+	if variance > 1e-12 {
+		inv := 1 / math.Sqrt(variance)
+		for i := range f {
+			f[i] = (f[i] - mean) * inv
+		}
+	}
+	return f
+}
+
+// Generate realises one die.
+func Generate(w, h int, p Params) (*Map, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("variation: invalid grid %dx%d", w, h)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed)
+	leakField := correlatedField(w, h, p.CorrPasses, r.Split())
+	dynField := correlatedField(w, h, p.CorrPasses, r.Split())
+	freqField := correlatedField(w, h, p.CorrPasses, r.Split())
+	n := w * h
+	m := &Map{
+		W: w, H: h,
+		LeakMult: make([]float64, n),
+		DynMult:  make([]float64, n),
+		FreqMult: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// exp(σg − σ²/2) has mean 1 for standard normal g. Frequency and
+		// leakage are anti-correlated in silicon (fast transistors leak),
+		// so the frequency multiplier reuses the leakage field's sign.
+		m.LeakMult[i] = math.Exp(p.LeakSigma*leakField[i] - p.LeakSigma*p.LeakSigma/2)
+		m.DynMult[i] = math.Exp(p.DynSigma*dynField[i] - p.DynSigma*p.DynSigma/2)
+		g := 0.5*leakField[i] + 0.5*freqField[i]
+		m.FreqMult[i] = math.Exp(p.FreqSigma*g - p.FreqSigma*p.FreqSigma/2)
+	}
+	return m, nil
+}
+
+// Uniform returns the no-variation identity map, useful as a control.
+func Uniform(w, h int) *Map {
+	n := w * h
+	m := &Map{
+		W: w, H: h,
+		LeakMult: make([]float64, n),
+		DynMult:  make([]float64, n),
+		FreqMult: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.LeakMult[i] = 1
+		m.DynMult[i] = 1
+		m.FreqMult[i] = 1
+	}
+	return m
+}
+
+// Spread returns the min and max of a multiplier vector, for reporting.
+func Spread(mult []float64) (min, max float64) {
+	if len(mult) == 0 {
+		panic("variation: Spread of empty vector")
+	}
+	min, max = mult[0], mult[0]
+	for _, v := range mult[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,192 @@
+package variation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{LeakSigma: -0.1},
+		{LeakSigma: 3},
+		{DynSigma: -0.1},
+		{DynSigma: 3},
+		{CorrPasses: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	m, err := Generate(8, 8, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.W != 8 || m.H != 8 || len(m.LeakMult) != 64 {
+		t.Fatalf("map shape wrong: %+v", m)
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate(0, 4, Default()); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+	if _, err := Generate(4, 4, Params{LeakSigma: -1}); err == nil {
+		t.Fatal("expected error for bad params")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(4, 4, Default())
+	b, _ := Generate(4, 4, Default())
+	for i := range a.LeakMult {
+		if a.LeakMult[i] != b.LeakMult[i] || a.DynMult[i] != b.DynMult[i] {
+			t.Fatal("same-seed dies differ")
+		}
+	}
+	p := Default()
+	p.Seed = 2
+	c, _ := Generate(4, 4, p)
+	same := true
+	for i := range a.LeakMult {
+		if a.LeakMult[i] != c.LeakMult[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical dies")
+	}
+}
+
+func TestMultiplierStatistics(t *testing.T) {
+	p := Default()
+	// Average over many dies: mean multiplier ≈ 1, spread ≈ sigma.
+	sumLeak, n := 0.0, 0
+	var logs []float64
+	for seed := uint64(1); seed <= 30; seed++ {
+		p.Seed = seed
+		m, err := Generate(8, 8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range m.LeakMult {
+			sumLeak += v
+			logs = append(logs, math.Log(v))
+			n++
+		}
+	}
+	mean := sumLeak / float64(n)
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean leakage multiplier = %v, want ~1", mean)
+	}
+	// Log-domain standard deviation should be near LeakSigma.
+	lm := 0.0
+	for _, v := range logs {
+		lm += v
+	}
+	lm /= float64(n)
+	ss := 0.0
+	for _, v := range logs {
+		d := v - lm
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n))
+	if math.Abs(sd-p.LeakSigma) > 0.05 {
+		t.Fatalf("log-domain spread = %v, want ~%v", sd, p.LeakSigma)
+	}
+}
+
+// Smoothing must increase nearest-neighbour correlation.
+func TestSpatialCorrelation(t *testing.T) {
+	corr := func(passes int) float64 {
+		p := Default()
+		p.CorrPasses = passes
+		total := 0.0
+		n := 0
+		for seed := uint64(1); seed <= 20; seed++ {
+			p.Seed = seed
+			m, _ := Generate(8, 8, p)
+			for i := 0; i < 63; i++ {
+				if (i+1)%8 == 0 {
+					continue // don't wrap rows
+				}
+				a := math.Log(m.LeakMult[i]) / p.LeakSigma
+				b := math.Log(m.LeakMult[i+1]) / p.LeakSigma
+				total += a * b
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	white := corr(0)
+	smooth := corr(3)
+	if smooth <= white+0.2 {
+		t.Fatalf("smoothing did not raise neighbour correlation: %v -> %v", white, smooth)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(3, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.LeakMult {
+		if m.LeakMult[i] != 1 || m.DynMult[i] != 1 {
+			t.Fatal("uniform map not identity")
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	min, max := Spread([]float64{0.8, 1.3, 1.0})
+	if min != 0.8 || max != 1.3 {
+		t.Fatalf("Spread = (%v, %v)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Spread did not panic")
+		}
+	}()
+	Spread(nil)
+}
+
+// Property: all multipliers are positive and finite for any seed/sigma.
+func TestQuickMultipliersPositive(t *testing.T) {
+	f := func(seed uint64, sigRaw uint8) bool {
+		p := Params{
+			LeakSigma:  float64(sigRaw%20) / 10,
+			DynSigma:   float64(sigRaw%10) / 10,
+			CorrPasses: int(sigRaw % 4),
+			Seed:       seed,
+		}
+		m, err := Generate(4, 4, p)
+		if err != nil {
+			return false
+		}
+		for i := range m.LeakMult {
+			if m.LeakMult[i] <= 0 || math.IsInf(m.LeakMult[i], 0) || math.IsNaN(m.LeakMult[i]) {
+				return false
+			}
+			if m.DynMult[i] <= 0 || math.IsInf(m.DynMult[i], 0) || math.IsNaN(m.DynMult[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

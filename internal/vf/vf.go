@@ -1,0 +1,194 @@
+// Package vf models discrete voltage/frequency (VF) operating points for
+// per-core DVFS, the actuation knob every controller in this repository
+// manipulates.
+//
+// Voltages are derived from frequencies via the alpha-power law
+//
+//	f = K * (Vdd - Vth)^alpha / Vdd
+//
+// which captures the super-linear voltage cost of high frequency that makes
+// DVFS worthwhile in the first place: dynamic power scales as V²f, so the
+// top levels are disproportionately expensive per unit of speed.
+package vf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OperatingPoint is one discrete VF level.
+type OperatingPoint struct {
+	Level    int     // index into the table, 0 = slowest
+	FreqHz   float64 // clock frequency in Hz
+	VoltageV float64 // supply voltage in volts
+}
+
+// Table is an ordered list of operating points, slowest first.
+type Table struct {
+	points []OperatingPoint
+}
+
+// TechParams are the alpha-power-law constants used to derive voltage from
+// frequency. The defaults approximate a 22 nm-class planar technology.
+type TechParams struct {
+	VthV  float64 // threshold voltage (V)
+	Alpha float64 // velocity-saturation exponent, ~1.3 for short channel
+	// KHz is the proportionality constant in f = KHz*(V-Vth)^alpha/V,
+	// with f in Hz and V in volts.
+	KHz float64
+}
+
+// DefaultTech returns alpha-power-law constants calibrated so that 1.15 V
+// yields roughly 3.6 GHz, a plausible 22 nm-class fast corner.
+func DefaultTech() TechParams {
+	return TechParams{VthV: 0.30, Alpha: 1.3, KHz: 5.2e9}
+}
+
+// FreqAt returns the frequency achievable at voltage v under p.
+func (p TechParams) FreqAt(v float64) float64 {
+	if v <= p.VthV {
+		return 0
+	}
+	return p.KHz * math.Pow(v-p.VthV, p.Alpha) / v
+}
+
+// VoltageFor returns the minimum voltage sustaining frequency f under p,
+// found by bisection on the monotone FreqAt. It returns an error if f is
+// not achievable below vMax.
+func (p TechParams) VoltageFor(f, vMax float64) (float64, error) {
+	if f <= 0 {
+		return 0, fmt.Errorf("vf: non-positive frequency %g", f)
+	}
+	if p.FreqAt(vMax) < f {
+		return 0, fmt.Errorf("vf: frequency %g Hz unachievable below %g V", f, vMax)
+	}
+	lo, hi := p.VthV, vMax
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if p.FreqAt(mid) < f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// NewTable builds a validated table from explicit points. Points must be
+// strictly increasing in both frequency and voltage; levels are renumbered
+// 0..n-1 in frequency order.
+func NewTable(points []OperatingPoint) (*Table, error) {
+	if len(points) == 0 {
+		return nil, errors.New("vf: empty table")
+	}
+	ps := make([]OperatingPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].FreqHz < ps[j].FreqHz })
+	for i := range ps {
+		if ps[i].FreqHz <= 0 || ps[i].VoltageV <= 0 {
+			return nil, fmt.Errorf("vf: non-positive point %+v", ps[i])
+		}
+		if i > 0 {
+			if ps[i].FreqHz == ps[i-1].FreqHz {
+				return nil, fmt.Errorf("vf: duplicate frequency %g Hz", ps[i].FreqHz)
+			}
+			if ps[i].VoltageV <= ps[i-1].VoltageV {
+				return nil, fmt.Errorf("vf: voltage not increasing with frequency at %g Hz", ps[i].FreqHz)
+			}
+		}
+		ps[i].Level = i
+	}
+	return &Table{points: ps}, nil
+}
+
+// Generate builds an n-level table spanning [fMin, fMax] Hz with voltages
+// from the alpha-power law. Levels are spaced uniformly in frequency, which
+// matches commercial P-state tables closely enough for control studies.
+func Generate(fMin, fMax float64, n int, tech TechParams) (*Table, error) {
+	if n < 2 {
+		return nil, errors.New("vf: need at least 2 levels")
+	}
+	if fMin <= 0 || fMax <= fMin {
+		return nil, fmt.Errorf("vf: invalid frequency range [%g, %g]", fMin, fMax)
+	}
+	points := make([]OperatingPoint, n)
+	for i := 0; i < n; i++ {
+		f := fMin + (fMax-fMin)*float64(i)/float64(n-1)
+		v, err := tech.VoltageFor(f, 1.4)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = OperatingPoint{Level: i, FreqHz: f, VoltageV: v}
+	}
+	return NewTable(points)
+}
+
+// Default returns the 8-level table used by the default platform:
+// 1.0–3.6 GHz under DefaultTech.
+func Default() *Table {
+	t, err := Generate(1.0e9, 3.6e9, 8, DefaultTech())
+	if err != nil {
+		panic("vf: default table generation failed: " + err.Error())
+	}
+	return t
+}
+
+// Levels returns the number of operating points.
+func (t *Table) Levels() int { return len(t.points) }
+
+// Point returns the operating point at the given level. It panics on an
+// out-of-range level: controllers must emit valid levels, and a silent clamp
+// would hide controller bugs.
+func (t *Table) Point(level int) OperatingPoint {
+	if level < 0 || level >= len(t.points) {
+		panic(fmt.Sprintf("vf: level %d out of range [0,%d)", level, len(t.points)))
+	}
+	return t.points[level]
+}
+
+// Min and Max return the slowest and fastest operating points.
+func (t *Table) Min() OperatingPoint { return t.points[0] }
+func (t *Table) Max() OperatingPoint { return t.points[len(t.points)-1] }
+
+// Clamp returns level forced into the valid range.
+func (t *Table) Clamp(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= len(t.points) {
+		return len(t.points) - 1
+	}
+	return level
+}
+
+// LevelForFreq returns the lowest level whose frequency is >= f, or the top
+// level if f exceeds the table's maximum.
+func (t *Table) LevelForFreq(f float64) int {
+	for _, p := range t.points {
+		if p.FreqHz >= f {
+			return p.Level
+		}
+	}
+	return len(t.points) - 1
+}
+
+// Points returns a copy of all operating points, slowest first.
+func (t *Table) Points() []OperatingPoint {
+	out := make([]OperatingPoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// String renders the table for configuration dumps.
+func (t *Table) String() string {
+	s := ""
+	for i, p := range t.points {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("L%d %.2fGHz@%.3fV", p.Level, p.FreqHz/1e9, p.VoltageV)
+	}
+	return s
+}

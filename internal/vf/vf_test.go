@@ -1,0 +1,219 @@
+package vf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTableShape(t *testing.T) {
+	tbl := Default()
+	if tbl.Levels() != 8 {
+		t.Fatalf("default table has %d levels, want 8", tbl.Levels())
+	}
+	if got := tbl.Min().FreqHz; math.Abs(got-1.0e9) > 1 {
+		t.Fatalf("min freq = %g, want 1 GHz", got)
+	}
+	if got := tbl.Max().FreqHz; math.Abs(got-3.6e9) > 1 {
+		t.Fatalf("max freq = %g, want 3.6 GHz", got)
+	}
+}
+
+func TestTableMonotone(t *testing.T) {
+	tbl := Default()
+	pts := tbl.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FreqHz <= pts[i-1].FreqHz {
+			t.Fatalf("frequency not increasing at level %d", i)
+		}
+		if pts[i].VoltageV <= pts[i-1].VoltageV {
+			t.Fatalf("voltage not increasing at level %d", i)
+		}
+		if pts[i].Level != i {
+			t.Fatalf("level %d mislabeled as %d", i, pts[i].Level)
+		}
+	}
+}
+
+func TestAlphaPowerConsistency(t *testing.T) {
+	tech := DefaultTech()
+	tbl := Default()
+	for _, p := range tbl.Points() {
+		f := tech.FreqAt(p.VoltageV)
+		if math.Abs(f-p.FreqHz)/p.FreqHz > 1e-6 {
+			t.Fatalf("level %d: FreqAt(V)=%g but table says %g", p.Level, f, p.FreqHz)
+		}
+	}
+}
+
+func TestVoltageForInvertsFreqAt(t *testing.T) {
+	tech := DefaultTech()
+	for _, f := range []float64{0.5e9, 1e9, 2e9, 3e9, 3.6e9} {
+		v, err := tech.VoltageFor(f, 1.4)
+		if err != nil {
+			t.Fatalf("VoltageFor(%g): %v", f, err)
+		}
+		back := tech.FreqAt(v)
+		if math.Abs(back-f)/f > 1e-6 {
+			t.Fatalf("roundtrip %g Hz -> %g V -> %g Hz", f, v, back)
+		}
+	}
+}
+
+func TestVoltageForUnachievable(t *testing.T) {
+	tech := DefaultTech()
+	if _, err := tech.VoltageFor(100e9, 1.4); err == nil {
+		t.Fatal("expected error for unachievable frequency")
+	}
+	if _, err := tech.VoltageFor(-1, 1.4); err == nil {
+		t.Fatal("expected error for negative frequency")
+	}
+}
+
+func TestFreqAtBelowThreshold(t *testing.T) {
+	tech := DefaultTech()
+	if f := tech.FreqAt(tech.VthV); f != 0 {
+		t.Fatalf("FreqAt(Vth) = %g, want 0", f)
+	}
+	if f := tech.FreqAt(0.1); f != 0 {
+		t.Fatalf("FreqAt(0.1) = %g, want 0", f)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []OperatingPoint
+	}{
+		{"empty", nil},
+		{"zero freq", []OperatingPoint{{FreqHz: 0, VoltageV: 1}}},
+		{"zero voltage", []OperatingPoint{{FreqHz: 1e9, VoltageV: 0}}},
+		{"duplicate freq", []OperatingPoint{{FreqHz: 1e9, VoltageV: 0.8}, {FreqHz: 1e9, VoltageV: 0.9}}},
+		{"voltage not increasing", []OperatingPoint{{FreqHz: 1e9, VoltageV: 0.9}, {FreqHz: 2e9, VoltageV: 0.8}}},
+	}
+	for _, c := range cases {
+		if _, err := NewTable(c.points); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewTableSortsPoints(t *testing.T) {
+	tbl, err := NewTable([]OperatingPoint{
+		{FreqHz: 2e9, VoltageV: 0.9},
+		{FreqHz: 1e9, VoltageV: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Point(0).FreqHz != 1e9 || tbl.Point(1).FreqHz != 2e9 {
+		t.Fatal("points not sorted by frequency")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tbl := Default()
+	if tbl.Clamp(-5) != 0 {
+		t.Fatal("Clamp(-5) != 0")
+	}
+	if tbl.Clamp(100) != tbl.Levels()-1 {
+		t.Fatal("Clamp(100) != top level")
+	}
+	if tbl.Clamp(3) != 3 {
+		t.Fatal("Clamp(3) != 3")
+	}
+}
+
+func TestPointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Point(-1) did not panic")
+		}
+	}()
+	Default().Point(-1)
+}
+
+func TestLevelForFreq(t *testing.T) {
+	tbl := Default()
+	if l := tbl.LevelForFreq(0); l != 0 {
+		t.Fatalf("LevelForFreq(0) = %d, want 0", l)
+	}
+	if l := tbl.LevelForFreq(100e9); l != tbl.Levels()-1 {
+		t.Fatalf("LevelForFreq(huge) = %d, want top", l)
+	}
+	// Exactly the frequency of level 4 should return level 4.
+	f := tbl.Point(4).FreqHz
+	if l := tbl.LevelForFreq(f); l != 4 {
+		t.Fatalf("LevelForFreq(level-4 freq) = %d, want 4", l)
+	}
+	// Slightly above level 4 should return level 5.
+	if l := tbl.LevelForFreq(f + 1); l != 5 {
+		t.Fatalf("LevelForFreq(level-4 freq + 1) = %d, want 5", l)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tech := DefaultTech()
+	if _, err := Generate(1e9, 2e9, 1, tech); err == nil {
+		t.Fatal("expected error for 1 level")
+	}
+	if _, err := Generate(2e9, 1e9, 4, tech); err == nil {
+		t.Fatal("expected error for inverted range")
+	}
+	if _, err := Generate(1e9, 500e9, 4, tech); err == nil {
+		t.Fatal("expected error for unachievable max frequency")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Default().String() == "" {
+		t.Fatal("String() is empty")
+	}
+}
+
+// Property: FreqAt is monotone non-decreasing in voltage above threshold.
+func TestQuickFreqAtMonotone(t *testing.T) {
+	tech := DefaultTech()
+	f := func(a, b float64) bool {
+		va := 0.3 + math.Mod(math.Abs(a), 1.1)
+		vb := 0.3 + math.Mod(math.Abs(b), 1.1)
+		if va > vb {
+			va, vb = vb, va
+		}
+		return tech.FreqAt(va) <= tech.FreqAt(vb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated tables are always valid (monotone V and f) for
+// arbitrary level counts and ranges within the achievable envelope.
+func TestQuickGenerateValid(t *testing.T) {
+	tech := DefaultTech()
+	f := func(nRaw uint8, loRaw, hiRaw uint16) bool {
+		n := int(nRaw%14) + 2
+		lo := 0.5e9 + float64(loRaw%2000)*1e6
+		hi := lo + 0.5e9 + float64(hiRaw%2000)*1e6
+		if hi > 3.8e9 {
+			hi = 3.8e9
+		}
+		if hi <= lo {
+			return true
+		}
+		tbl, err := Generate(lo, hi, n, tech)
+		if err != nil {
+			return false
+		}
+		pts := tbl.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].FreqHz <= pts[i-1].FreqHz || pts[i].VoltageV <= pts[i-1].VoltageV {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON: the trace decoder must never panic and must never accept a
+// structurally invalid trace, whatever bytes arrive.
+func FuzzReadJSON(f *testing.F) {
+	// Seed corpus: a valid trace, a truncated one, junk.
+	var valid bytes.Buffer
+	tr, err := Record(MustPreset("vips"), 1, 0.1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte(`{"name":"x","phases":[],"entries":[]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the validator's own contract.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted an invalid trace: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func jobWork() Phase {
+	return Phase{Class: Compute, BaseCPI: 1.0, MPKI: 1, MemLatencyNs: 80, Activity: 0.9}
+}
+
+func TestNewJobSystemValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewJobSystem(0, jobWork(), 100, 1e6, r); err == nil {
+		t.Fatal("expected error for zero cores")
+	}
+	if _, err := NewJobSystem(4, Phase{}, 100, 1e6, r); err == nil {
+		t.Fatal("expected error for invalid phase")
+	}
+	if _, err := NewJobSystem(4, jobWork(), 0, 1e6, r); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	if _, err := NewJobSystem(4, jobWork(), 100, 0, r); err == nil {
+		t.Fatal("expected error for zero job size")
+	}
+	if _, err := NewJobSystem(4, jobWork(), 100, 1e6, nil); err == nil {
+		t.Fatal("expected error for nil rng")
+	}
+}
+
+func TestJobLaneIdleUntilArrival(t *testing.T) {
+	// Very low arrival rate: the lane starts idle.
+	s, err := NewJobSystem(1, jobWork(), 0.001, 1e6, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Lane(0)
+	if l.PhaseIndex() != 1 || l.Phase().Class != Idle {
+		t.Fatal("lane should start idle")
+	}
+	l.AdvanceWork(1e-3, 0)
+	if s.Completed() != 0 {
+		t.Fatal("phantom completion")
+	}
+}
+
+func TestJobCompletionAndLatency(t *testing.T) {
+	// High rate so a job arrives almost immediately.
+	s, err := NewJobSystem(1, jobWork(), 1000, 1e6, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Lane(0)
+	// Run epochs retiring 1e6 instructions each; jobs are ~exp(1e6) long,
+	// so completions accumulate quickly.
+	for e := 0; e < 200; e++ {
+		l.AdvanceWork(1e-3, 1e6)
+	}
+	if s.Completed() < 50 {
+		t.Fatalf("only %d completions in 200 busy epochs", s.Completed())
+	}
+	if s.MeanLatencyS() <= 0 {
+		t.Fatal("latency not tracked")
+	}
+}
+
+func TestJobThroughputMatchesArrivalRateWhenUnderloaded(t *testing.T) {
+	// 4 cores, plenty of capacity: long-run completions/s ≈ arrival rate.
+	const rate = 200.0
+	s, err := NewJobSystem(4, jobWork(), rate, 1e6, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 1e-3
+	const totalS = 20.0
+	for e := 0; e < int(totalS/dt); e++ {
+		for i := 0; i < 4; i++ {
+			s.Lane(i).AdvanceWork(dt, 2.5e6) // fast cores
+		}
+	}
+	got := float64(s.Completed()) / totalS
+	if math.Abs(got-rate)/rate > 0.1 {
+		t.Fatalf("completion rate %v, want ~%v", got, rate)
+	}
+	if s.Queued() > 20 {
+		t.Fatalf("backlog %d in an underloaded system", s.Queued())
+	}
+}
+
+func TestJobSlowServiceRaisesLatencyAndBacklog(t *testing.T) {
+	run := func(instrPerEpoch float64) (float64, int) {
+		s, err := NewJobSystem(2, jobWork(), 150, 1e6, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 10000; e++ {
+			for i := 0; i < 2; i++ {
+				s.Lane(i).AdvanceWork(1e-3, instrPerEpoch)
+			}
+		}
+		return s.MeanLatencyS(), s.MaxQueued()
+	}
+	fastLat, fastQ := run(2.5e6)
+	slowLat, slowQ := run(0.12e6) // throttled below the offered load
+	if slowLat <= fastLat*2 {
+		t.Fatalf("throttling barely moved latency: %v vs %v", slowLat, fastLat)
+	}
+	if slowQ <= fastQ {
+		t.Fatalf("throttling did not grow the backlog: %d vs %d", slowQ, fastQ)
+	}
+}
+
+func TestJobResetStats(t *testing.T) {
+	s, _ := NewJobSystem(1, jobWork(), 1000, 1e5, rng.New(1))
+	l := s.Lane(0)
+	for e := 0; e < 100; e++ {
+		l.AdvanceWork(1e-3, 1e6)
+	}
+	if s.Completed() == 0 {
+		t.Fatal("no completions before reset")
+	}
+	s.ResetStats()
+	if s.Completed() != 0 || s.MeanLatencyS() != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestJobAdvanceFallback(t *testing.T) {
+	s, _ := NewJobSystem(1, jobWork(), 1000, 1e5, rng.New(5))
+	l := s.Lane(0)
+	for e := 0; e < 500; e++ {
+		l.Advance(1e-3)
+	}
+	if s.Completed() == 0 {
+		t.Fatal("fallback Advance made no progress")
+	}
+}
+
+func TestJobAdvancePanicsOnNegative(t *testing.T) {
+	s, _ := NewJobSystem(1, jobWork(), 100, 1e6, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Lane(0).AdvanceWork(0, -1)
+}
+
+func TestJobDeterminism(t *testing.T) {
+	run := func() (int, float64) {
+		s, _ := NewJobSystem(3, jobWork(), 500, 1e6, rng.New(21))
+		for e := 0; e < 2000; e++ {
+			for i := 0; i < 3; i++ {
+				s.Lane(i).AdvanceWork(1e-3, 1.5e6)
+			}
+		}
+		return s.Completed(), s.MeanLatencyS()
+	}
+	c1, l1 := run()
+	c2, l2 := run()
+	if c1 != c2 || l1 != l2 {
+		t.Fatal("same-seed job systems diverged")
+	}
+}

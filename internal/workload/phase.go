@@ -1,0 +1,116 @@
+// Package workload generates the phased, Markov-modulated synthetic
+// workloads that stand in for the paper's PARSEC/SPLASH-2 benchmarks.
+//
+// A DVFS controller never sees source code — it sees per-epoch telemetry
+// shaped by the *phase structure* of the program: how compute-bound or
+// memory-bound execution currently is, and how abruptly that changes.
+// Each workload is a continuous-time Markov chain over a small set of
+// phases; each phase fixes a CPI stack:
+//
+//	CPI(f) = BaseCPI + MPKI/1000 · MemLatency · f
+//
+// BaseCPI is the frequency-independent pipeline component (cycles), while
+// memory stalls are constant in *time*, so their cycle cost grows linearly
+// with frequency. This yields the sub-linear frequency scaling of
+// memory-bound code that makes DVFS profitable, and abrupt phase changes
+// are precisely what make prediction-based power managers overshoot.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class is a coarse label for a phase, used for reporting and state
+// discretisation sanity checks.
+type Class int
+
+// Phase classes, from fully core-bound to fully stalled.
+const (
+	Compute Class = iota
+	Mixed
+	Memory
+	Bursty
+	Idle
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Mixed:
+		return "mixed"
+	case Memory:
+		return "memory"
+	case Bursty:
+		return "bursty"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Phase is one steady region of execution with a fixed CPI stack.
+type Phase struct {
+	Class        Class
+	BaseCPI      float64 // pipeline cycles per instruction, frequency-independent
+	MPKI         float64 // long-latency memory accesses per kilo-instruction
+	MemLatencyNs float64 // average latency of one such access, in wall-clock ns
+	Activity     float64 // switching-activity factor in [0,1] for dynamic power
+}
+
+// Validate reports the first physically meaningless field.
+func (ph Phase) Validate() error {
+	switch {
+	case ph.BaseCPI <= 0:
+		return fmt.Errorf("workload: BaseCPI must be positive, got %g", ph.BaseCPI)
+	case ph.MPKI < 0:
+		return fmt.Errorf("workload: MPKI must be non-negative, got %g", ph.MPKI)
+	case ph.MemLatencyNs < 0:
+		return fmt.Errorf("workload: MemLatencyNs must be non-negative, got %g", ph.MemLatencyNs)
+	case ph.Activity < 0 || ph.Activity > 1:
+		return fmt.Errorf("workload: Activity must be in [0,1], got %g", ph.Activity)
+	case math.IsNaN(ph.BaseCPI + ph.MPKI + ph.MemLatencyNs + ph.Activity):
+		return fmt.Errorf("workload: NaN field in phase %+v", ph)
+	}
+	return nil
+}
+
+// CPIAt returns cycles per instruction at clock frequency fHz.
+func (ph Phase) CPIAt(fHz float64) float64 {
+	return ph.BaseCPI + ph.MPKI/1000*ph.MemLatencyNs*1e-9*fHz
+}
+
+// IPSAt returns instructions per second at clock frequency fHz.
+func (ph Phase) IPSAt(fHz float64) float64 {
+	if fHz <= 0 {
+		return 0
+	}
+	return fHz / ph.CPIAt(fHz)
+}
+
+// MemBoundednessAt returns the fraction of cycles spent in memory stalls at
+// frequency fHz, in [0,1). Controllers use this (or its telemetry proxy) to
+// judge how much performance a frequency increase would actually buy.
+func (ph Phase) MemBoundednessAt(fHz float64) float64 {
+	cpi := ph.CPIAt(fHz)
+	if cpi <= 0 {
+		return 0
+	}
+	return (cpi - ph.BaseCPI) / cpi
+}
+
+// Scale returns a copy of the phase with BaseCPI and MPKI scaled by factor,
+// used to model per-core input variation within a multithreaded run.
+// The factor must be positive.
+func (ph Phase) Scale(factor float64) Phase {
+	if factor <= 0 {
+		panic(fmt.Sprintf("workload: non-positive scale factor %g", factor))
+	}
+	out := ph
+	out.BaseCPI *= factor
+	out.MPKI *= factor
+	return out
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Compute: "compute",
+		Mixed:   "mixed",
+		Memory:  "memory",
+		Bursty:  "bursty",
+		Idle:    "idle",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if got := Class(99).String(); got != "Class(99)" {
+		t.Errorf("unknown class = %q", got)
+	}
+}
+
+func TestPhaseValidate(t *testing.T) {
+	good := Phase{BaseCPI: 1, MPKI: 5, MemLatencyNs: 80, Activity: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Phase{
+		{BaseCPI: 0, MPKI: 5, MemLatencyNs: 80, Activity: 0.5},
+		{BaseCPI: -1, MPKI: 5, MemLatencyNs: 80, Activity: 0.5},
+		{BaseCPI: 1, MPKI: -1, MemLatencyNs: 80, Activity: 0.5},
+		{BaseCPI: 1, MPKI: 5, MemLatencyNs: -1, Activity: 0.5},
+		{BaseCPI: 1, MPKI: 5, MemLatencyNs: 80, Activity: 1.5},
+		{BaseCPI: 1, MPKI: 5, MemLatencyNs: 80, Activity: -0.1},
+		{BaseCPI: math.NaN(), MPKI: 5, MemLatencyNs: 80, Activity: 0.5},
+	}
+	for i, ph := range bad {
+		if err := ph.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, ph)
+		}
+	}
+}
+
+func TestCPIComputeBoundFlat(t *testing.T) {
+	ph := Phase{BaseCPI: 0.8, MPKI: 0, MemLatencyNs: 80, Activity: 1}
+	if got := ph.CPIAt(1e9); got != 0.8 {
+		t.Fatalf("CPI at 1 GHz = %v, want 0.8", got)
+	}
+	if got := ph.CPIAt(4e9); got != 0.8 {
+		t.Fatalf("CPI at 4 GHz = %v, want 0.8 (no memory component)", got)
+	}
+}
+
+func TestCPIMemoryGrowsWithFrequency(t *testing.T) {
+	ph := Phase{BaseCPI: 1.0, MPKI: 20, MemLatencyNs: 80, Activity: 0.4}
+	lo := ph.CPIAt(1e9)
+	hi := ph.CPIAt(4e9)
+	if hi <= lo {
+		t.Fatalf("memory-bound CPI did not grow with frequency: %v vs %v", lo, hi)
+	}
+	// Analytic check: CPI(f) = 1 + 0.02*80e-9*f.
+	want := 1 + 0.02*80e-9*4e9
+	if math.Abs(hi-want) > 1e-9 {
+		t.Fatalf("CPI at 4 GHz = %v, want %v", hi, want)
+	}
+}
+
+func TestIPSSublinearForMemoryBound(t *testing.T) {
+	ph := Phase{BaseCPI: 1.0, MPKI: 20, MemLatencyNs: 80, Activity: 0.4}
+	ips1 := ph.IPSAt(1e9)
+	ips4 := ph.IPSAt(4e9)
+	if ips4 <= ips1 {
+		t.Fatal("IPS must still increase with frequency")
+	}
+	if ips4/ips1 >= 4 {
+		t.Fatalf("memory-bound speedup %v should be well below 4x", ips4/ips1)
+	}
+}
+
+func TestIPSLinearForComputeBound(t *testing.T) {
+	ph := Phase{BaseCPI: 0.8, MPKI: 0, MemLatencyNs: 80, Activity: 1}
+	ratio := ph.IPSAt(4e9) / ph.IPSAt(1e9)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("compute-bound speedup = %v, want exactly 4", ratio)
+	}
+}
+
+func TestIPSZeroAtZeroFreq(t *testing.T) {
+	ph := Phase{BaseCPI: 1, MPKI: 1, MemLatencyNs: 80, Activity: 1}
+	if got := ph.IPSAt(0); got != 0 {
+		t.Fatalf("IPS at 0 Hz = %v", got)
+	}
+}
+
+func TestMemBoundednessRange(t *testing.T) {
+	compute := Phase{BaseCPI: 0.8, MPKI: 0, MemLatencyNs: 80, Activity: 1}
+	if got := compute.MemBoundednessAt(3e9); got != 0 {
+		t.Fatalf("compute-bound mem-boundedness = %v, want 0", got)
+	}
+	mem := Phase{BaseCPI: 1.0, MPKI: 30, MemLatencyNs: 100, Activity: 0.3}
+	got := mem.MemBoundednessAt(3.6e9)
+	if got <= 0.85 || got >= 1 {
+		t.Fatalf("heavily memory-bound mem-boundedness = %v, want in (0.85, 1)", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	ph := Phase{BaseCPI: 1.0, MPKI: 10, MemLatencyNs: 80, Activity: 0.5}
+	s := ph.Scale(1.2)
+	if s.BaseCPI != 1.2 || s.MPKI != 12 {
+		t.Fatalf("Scale(1.2) = %+v", s)
+	}
+	if s.MemLatencyNs != 80 || s.Activity != 0.5 {
+		t.Fatal("Scale must not touch latency or activity")
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	Phase{BaseCPI: 1}.Scale(0)
+}
+
+// Property: IPS is monotone non-decreasing in frequency for any valid phase.
+func TestQuickIPSMonotone(t *testing.T) {
+	f := func(cpiRaw, mpkiRaw, f1Raw, f2Raw uint16) bool {
+		ph := Phase{
+			BaseCPI:      0.5 + float64(cpiRaw%20)/10,
+			MPKI:         float64(mpkiRaw % 40),
+			MemLatencyNs: 80,
+			Activity:     0.5,
+		}
+		fa := 0.5e9 + float64(f1Raw)*1e6
+		fb := 0.5e9 + float64(f2Raw)*1e6
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return ph.IPSAt(fa) <= ph.IPSAt(fb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mem-boundedness is always in [0, 1) and monotone in frequency.
+func TestQuickMemBoundednessBounds(t *testing.T) {
+	f := func(mpkiRaw, fRaw uint16) bool {
+		ph := Phase{BaseCPI: 1, MPKI: float64(mpkiRaw % 50), MemLatencyNs: 80, Activity: 0.5}
+		fr := 0.5e9 + float64(fRaw)*1e6
+		b := ph.MemBoundednessAt(fr)
+		if b < 0 || b >= 1 {
+			return false
+		}
+		return ph.MemBoundednessAt(fr) <= ph.MemBoundednessAt(fr*2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

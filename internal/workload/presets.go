@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset phase building blocks. Memory latency is wall-clock DRAM latency;
+// it varies mildly across benchmarks to reflect locality differences.
+func computePhase(cpi, mpki, act float64) Phase {
+	return Phase{Class: Compute, BaseCPI: cpi, MPKI: mpki, MemLatencyNs: 75, Activity: act}
+}
+
+func mixedPhase(cpi, mpki, act float64) Phase {
+	return Phase{Class: Mixed, BaseCPI: cpi, MPKI: mpki, MemLatencyNs: 80, Activity: act}
+}
+
+func memoryPhase(cpi, mpki, act float64) Phase {
+	return Phase{Class: Memory, BaseCPI: cpi, MPKI: mpki, MemLatencyNs: 90, Activity: act}
+}
+
+// idlePhase models a thread blocked on synchronisation or I/O: effectively
+// infinite memory-boundedness (frequency buys nothing) at low activity.
+func idlePhase() Phase {
+	return Phase{Class: Idle, BaseCPI: 1.0, MPKI: 30, MemLatencyNs: 100, Activity: 0.08}
+}
+
+func burstyPhase(cpi, mpki, act float64) Phase {
+	return Phase{Class: Bursty, BaseCPI: cpi, MPKI: mpki, MemLatencyNs: 80, Activity: act}
+}
+
+// presets is the registry of PARSEC-like workload models. Phase CPI stacks
+// follow published characterisations of the corresponding benchmark classes:
+// option pricing is compute-bound, simulated annealing and streaming
+// clustering are memory-bound, media pipelines are bursty, and so on.
+var presets = map[string]Spec{
+	"blackscholes": {
+		Name: "blackscholes",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.80, 1.0, 0.95), MeanDurS: 0.150, DurJitter: 0.3},
+			{Phase: mixedPhase(1.05, 5.0, 0.65), MeanDurS: 0.025, DurJitter: 0.4},
+		},
+		Transitions: [][]float64{
+			{0.85, 0.15},
+			{0.70, 0.30},
+		},
+	},
+	"swaptions": {
+		Name: "swaptions",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.75, 0.5, 1.0), MeanDurS: 0.200, DurJitter: 0.2},
+			{Phase: computePhase(0.90, 2.0, 0.85), MeanDurS: 0.060, DurJitter: 0.3},
+		},
+		Transitions: [][]float64{
+			{0.90, 0.10},
+			{0.60, 0.40},
+		},
+	},
+	"canneal": {
+		Name: "canneal",
+		Phases: []PhaseSpec{
+			{Phase: memoryPhase(1.20, 18.0, 0.35), MeanDurS: 0.120, DurJitter: 0.4},
+			{Phase: mixedPhase(1.10, 7.0, 0.55), MeanDurS: 0.040, DurJitter: 0.4},
+		},
+		Transitions: [][]float64{
+			{0.80, 0.20},
+			{0.55, 0.45},
+		},
+	},
+	"streamcluster": {
+		Name: "streamcluster",
+		Phases: []PhaseSpec{
+			{Phase: memoryPhase(1.05, 22.0, 0.40), MeanDurS: 0.100, DurJitter: 0.3},
+			{Phase: computePhase(0.85, 2.5, 0.90), MeanDurS: 0.030, DurJitter: 0.5},
+		},
+		Transitions: [][]float64{
+			{0.75, 0.25},
+			{0.50, 0.50},
+		},
+	},
+	"bodytrack": {
+		Name: "bodytrack",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.90, 2.0, 0.85), MeanDurS: 0.060, DurJitter: 0.4},
+			{Phase: mixedPhase(1.15, 6.5, 0.60), MeanDurS: 0.060, DurJitter: 0.4},
+			{Phase: memoryPhase(1.25, 14.0, 0.40), MeanDurS: 0.030, DurJitter: 0.5},
+		},
+		Transitions: [][]float64{
+			{0.40, 0.45, 0.15},
+			{0.40, 0.40, 0.20},
+			{0.45, 0.40, 0.15},
+		},
+	},
+	"fluidanimate": {
+		Name: "fluidanimate",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.85, 1.5, 0.90), MeanDurS: 0.080, DurJitter: 0.3},
+			{Phase: idlePhase(), MeanDurS: 0.020, DurJitter: 0.6},
+			{Phase: mixedPhase(1.10, 6.0, 0.60), MeanDurS: 0.040, DurJitter: 0.4},
+		},
+		Transitions: [][]float64{
+			{0.55, 0.30, 0.15},
+			{0.70, 0.10, 0.20},
+			{0.50, 0.30, 0.20},
+		},
+	},
+	"dedup": {
+		Name: "dedup",
+		Phases: []PhaseSpec{
+			{Phase: burstyPhase(0.85, 3.0, 0.85), MeanDurS: 0.012, DurJitter: 0.5},
+			{Phase: memoryPhase(1.15, 16.0, 0.45), MeanDurS: 0.012, DurJitter: 0.5},
+			{Phase: mixedPhase(1.05, 7.0, 0.60), MeanDurS: 0.015, DurJitter: 0.5},
+		},
+		Transitions: [][]float64{
+			{0.20, 0.45, 0.35},
+			{0.45, 0.20, 0.35},
+			{0.40, 0.40, 0.20},
+		},
+	},
+	"ferret": {
+		Name: "ferret",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.90, 2.0, 0.85), MeanDurS: 0.050, DurJitter: 0.3},
+			{Phase: mixedPhase(1.10, 6.0, 0.60), MeanDurS: 0.050, DurJitter: 0.3},
+			{Phase: memoryPhase(1.20, 15.0, 0.40), MeanDurS: 0.040, DurJitter: 0.3},
+			{Phase: mixedPhase(1.00, 5.0, 0.65), MeanDurS: 0.030, DurJitter: 0.3},
+		},
+		Transitions: [][]float64{
+			{0.10, 0.60, 0.20, 0.10},
+			{0.15, 0.15, 0.55, 0.15},
+			{0.15, 0.15, 0.15, 0.55},
+			{0.55, 0.20, 0.15, 0.10},
+		},
+	},
+	"vips": {
+		Name: "vips",
+		Phases: []PhaseSpec{
+			{Phase: mixedPhase(1.00, 5.5, 0.65), MeanDurS: 0.090, DurJitter: 0.3},
+			{Phase: computePhase(0.85, 1.8, 0.90), MeanDurS: 0.040, DurJitter: 0.4},
+			{Phase: memoryPhase(1.15, 12.0, 0.45), MeanDurS: 0.030, DurJitter: 0.4},
+		},
+		Transitions: [][]float64{
+			{0.60, 0.25, 0.15},
+			{0.55, 0.30, 0.15},
+			{0.60, 0.25, 0.15},
+		},
+	},
+	"x264": {
+		Name: "x264",
+		Phases: []PhaseSpec{
+			{Phase: burstyPhase(0.80, 1.2, 0.95), MeanDurS: 0.025, DurJitter: 0.6},
+			{Phase: idlePhase(), MeanDurS: 0.015, DurJitter: 0.6},
+			{Phase: memoryPhase(1.10, 13.0, 0.45), MeanDurS: 0.020, DurJitter: 0.5},
+			{Phase: mixedPhase(1.00, 6.0, 0.65), MeanDurS: 0.030, DurJitter: 0.5},
+		},
+		Transitions: [][]float64{
+			{0.25, 0.25, 0.25, 0.25},
+			{0.45, 0.10, 0.20, 0.25},
+			{0.30, 0.20, 0.20, 0.30},
+			{0.35, 0.20, 0.25, 0.20},
+		},
+	},
+}
+
+// Preset returns the named benchmark spec.
+func Preset(name string) (Spec, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}
+
+// PresetNames returns all preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MustPreset is Preset for static names; it panics on unknown names.
+func MustPreset(name string) Spec {
+	s, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestAllPresetsValid(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 10 {
+		t.Fatalf("have %d presets, want 10", len(names))
+	}
+	for _, name := range names {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("preset %q has Name %q", name, s.Name)
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestMustPresetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPreset(unknown) did not panic")
+		}
+	}()
+	MustPreset("nope")
+}
+
+func TestPresetNamesSorted(t *testing.T) {
+	names := PresetNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+// The presets must span a spectrum of memory-boundedness so the evaluation
+// exercises both DVFS-friendly and DVFS-hostile regimes.
+func TestPresetSpectrum(t *testing.T) {
+	char := func(name string) Characterization {
+		c, err := Characterize(MustPreset(name), 11, 1.0, 2.5e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	compute := char("swaptions")
+	memory := char("streamcluster")
+	if compute.MemBoundedness > 0.3 {
+		t.Fatalf("swaptions mem-boundedness = %v, want < 0.3", compute.MemBoundedness)
+	}
+	if memory.MemBoundedness < 0.5 {
+		t.Fatalf("streamcluster mem-boundedness = %v, want > 0.5", memory.MemBoundedness)
+	}
+}
+
+// Bursty presets must actually change phases faster than steady ones.
+func TestPresetPhaseRates(t *testing.T) {
+	cDedup, err := Characterize(MustPreset("dedup"), 13, 2.0, 2.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSwap, err := Characterize(MustPreset("swaptions"), 13, 2.0, 2.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cDedup.PhaseRatePerS < 3*cSwap.PhaseRatePerS {
+		t.Fatalf("dedup phase rate %v should be much higher than swaptions %v",
+			cDedup.PhaseRatePerS, cSwap.PhaseRatePerS)
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func twoPhaseSpec() Spec {
+	return Spec{
+		Name: "test",
+		Phases: []PhaseSpec{
+			{Phase: computePhase(0.8, 1, 0.9), MeanDurS: 0.010, DurJitter: 0},
+			{Phase: memoryPhase(1.2, 18, 0.4), MeanDurS: 0.020, DurJitter: 0},
+		},
+		Transitions: [][]float64{
+			{0, 1},
+			{1, 0},
+		},
+	}
+}
+
+func TestSpecValidateGood(t *testing.T) {
+	if err := twoPhaseSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidateBad(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Phases = nil },
+		func(s *Spec) { s.Phases[0].BaseCPI = -1 },
+		func(s *Spec) { s.Phases[0].MeanDurS = 0 },
+		func(s *Spec) { s.Phases[0].DurJitter = 1.0 },
+		func(s *Spec) { s.Transitions = s.Transitions[:1] },
+		func(s *Spec) { s.Transitions[0] = s.Transitions[0][:1] },
+		func(s *Spec) { s.Transitions[0] = []float64{-1, 1} },
+		func(s *Spec) { s.Transitions[0] = []float64{0, 0} },
+		func(s *Spec) { s.Start = 5 },
+		func(s *Spec) { s.Start = -1 },
+	}
+	for i, mutate := range mutations {
+		s := twoPhaseSpec()
+		// Deep-copy mutable innards so mutations don't leak across cases.
+		s.Phases = append([]PhaseSpec(nil), s.Phases...)
+		s.Transitions = [][]float64{
+			append([]float64(nil), s.Transitions[0]...),
+			append([]float64(nil), s.Transitions[1]...),
+		}
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestProcessDeterministicPhaseSequence(t *testing.T) {
+	spec := twoPhaseSpec()
+	p1, err := NewProcess(spec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewProcess(spec, rng.New(1))
+	for i := 0; i < 1000; i++ {
+		p1.Advance(0.001)
+		p2.Advance(0.001)
+		if p1.PhaseIndex() != p2.PhaseIndex() {
+			t.Fatalf("same-seed processes diverged at step %d", i)
+		}
+	}
+}
+
+func TestProcessAlternatesDeterministically(t *testing.T) {
+	// With jitter 0 and a deterministic 0↔1 chain, phase boundaries are at
+	// exact multiples of the durations: 10ms in phase 0, 20ms in phase 1.
+	p, _ := NewProcess(twoPhaseSpec(), rng.New(1))
+	if p.PhaseIndex() != 0 {
+		t.Fatal("should start in phase 0")
+	}
+	changes := p.Advance(0.010)
+	if changes != 1 || p.PhaseIndex() != 1 {
+		t.Fatalf("after 10ms: changes=%d idx=%d, want 1, 1", changes, p.PhaseIndex())
+	}
+	changes = p.Advance(0.020)
+	if changes != 1 || p.PhaseIndex() != 0 {
+		t.Fatalf("after +20ms: changes=%d idx=%d, want 1, 0", changes, p.PhaseIndex())
+	}
+}
+
+func TestProcessAdvanceManyPhasesAtOnce(t *testing.T) {
+	p, _ := NewProcess(twoPhaseSpec(), rng.New(1))
+	// One full cycle is 30ms; 95ms covers 3 cycles plus 5ms: boundary count
+	// is 10ms,30ms,40ms,60ms,70ms,90ms → 6 changes.
+	changes := p.Advance(0.095)
+	if changes != 6 {
+		t.Fatalf("Advance(95ms) crossed %d boundaries, want 6", changes)
+	}
+	if p.PhaseIndex() != 0 {
+		t.Fatalf("after 95ms should be in phase 0, got %d", p.PhaseIndex())
+	}
+}
+
+func TestProcessAdvanceNegativePanics(t *testing.T) {
+	p, _ := NewProcess(twoPhaseSpec(), rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt did not panic")
+		}
+	}()
+	p.Advance(-1)
+}
+
+func TestScaledProcess(t *testing.T) {
+	spec := twoPhaseSpec()
+	p, err := NewScaledProcess(spec, rng.New(1), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := p.Phase()
+	if math.Abs(ph.BaseCPI-0.8*1.5) > 1e-12 {
+		t.Fatalf("scaled BaseCPI = %v, want %v", ph.BaseCPI, 0.8*1.5)
+	}
+	if _, err := NewScaledProcess(spec, rng.New(1), 0); err == nil {
+		t.Fatal("expected error for zero scale")
+	}
+}
+
+func TestNewProcessRejectsInvalidSpec(t *testing.T) {
+	s := twoPhaseSpec()
+	s.Name = ""
+	if _, err := NewProcess(s, rng.New(1)); err == nil {
+		t.Fatal("expected error for invalid spec")
+	}
+}
+
+func TestDurationJitterBounds(t *testing.T) {
+	spec := twoPhaseSpec()
+	spec.Phases[0].DurJitter = 0.5
+	spec.Transitions = [][]float64{{1, 0}, {1, 0}} // stay in phase 0
+	p, _ := NewProcess(spec, rng.New(3))
+	// Observe many phase residencies by stepping finely; all should lie in
+	// [5ms, 15ms]. We detect boundaries via Advance's return.
+	const step = 1e-4
+	dur := 0.0
+	seen := 0
+	for i := 0; i < 200000 && seen < 50; i++ {
+		ch := p.Advance(step)
+		dur += step
+		if ch > 0 {
+			if dur < 0.005-2*step || dur > 0.015+2*step {
+				t.Fatalf("phase residency %v outside jitter bounds [5ms, 15ms]", dur)
+			}
+			dur = 0
+			seen++
+		}
+	}
+	if seen < 50 {
+		t.Fatalf("observed only %d phase boundaries", seen)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	c, err := Characterize(MustPreset("canneal"), 7, 2.0, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "canneal" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if c.MemBoundedness < 0.4 {
+		t.Fatalf("canneal mem-boundedness = %v, want heavily memory-bound", c.MemBoundedness)
+	}
+	if c.MeanCPI <= 1 {
+		t.Fatalf("canneal mean CPI = %v, want > 1", c.MeanCPI)
+	}
+	if c.PhaseRatePerS <= 0 {
+		t.Fatal("no phase changes observed")
+	}
+
+	cs, err := Characterize(MustPreset("swaptions"), 7, 2.0, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MemBoundedness >= c.MemBoundedness {
+		t.Fatalf("swaptions (%v) should be less memory-bound than canneal (%v)",
+			cs.MemBoundedness, c.MemBoundedness)
+	}
+}

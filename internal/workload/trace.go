@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/rng"
+)
+
+// TraceEntry is one phase residency in a recorded trace.
+type TraceEntry struct {
+	PhaseIdx int     `json:"phase"`
+	DurS     float64 `json:"dur_s"`
+}
+
+// Trace is a recorded phase sequence that can be replayed deterministically,
+// e.g. to run every controller against the *same* workload realisation.
+type Trace struct {
+	Name    string       `json:"name"`
+	Phases  []Phase      `json:"phases"`
+	Entries []TraceEntry `json:"entries"`
+}
+
+// Validate reports the first structural problem in the trace.
+func (t Trace) Validate() error {
+	if len(t.Phases) == 0 {
+		return fmt.Errorf("workload: trace %q has no phase table", t.Name)
+	}
+	for i, ph := range t.Phases {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("workload: trace %q phase %d: %w", t.Name, i, err)
+		}
+	}
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("workload: trace %q has no entries", t.Name)
+	}
+	for i, e := range t.Entries {
+		if e.PhaseIdx < 0 || e.PhaseIdx >= len(t.Phases) {
+			return fmt.Errorf("workload: trace %q entry %d references phase %d of %d", t.Name, i, e.PhaseIdx, len(t.Phases))
+		}
+		if e.DurS <= 0 {
+			return fmt.Errorf("workload: trace %q entry %d has non-positive duration %g", t.Name, i, e.DurS)
+		}
+	}
+	return nil
+}
+
+// TotalDurS returns the total recorded duration.
+func (t Trace) TotalDurS() float64 {
+	total := 0.0
+	for _, e := range t.Entries {
+		total += e.DurS
+	}
+	return total
+}
+
+// Record runs a fresh process over spec for at least totalS seconds and
+// returns the phase sequence it took.
+func Record(spec Spec, seed uint64, totalS float64) (Trace, error) {
+	p, err := NewProcess(spec, rng.New(seed))
+	if err != nil {
+		return Trace{}, err
+	}
+	if totalS <= 0 {
+		return Trace{}, fmt.Errorf("workload: non-positive trace duration %g", totalS)
+	}
+	tr := Trace{Name: spec.Name, Phases: make([]Phase, len(spec.Phases))}
+	for i, ps := range spec.Phases {
+		tr.Phases[i] = ps.Phase
+	}
+	elapsed := 0.0
+	// Walk the process phase boundary by phase boundary. The process's
+	// remaining-duration field is private, so advance in small steps and
+	// coalesce runs of the same phase index into entries.
+	const step = 1e-4
+	currentIdx := p.PhaseIndex()
+	currentDur := 0.0
+	for elapsed < totalS {
+		changes := p.Advance(step)
+		currentDur += step
+		elapsed += step
+		if changes > 0 {
+			tr.Entries = append(tr.Entries, TraceEntry{PhaseIdx: currentIdx, DurS: currentDur})
+			currentIdx = p.PhaseIndex()
+			currentDur = 0
+		}
+	}
+	if currentDur > 0 {
+		tr.Entries = append(tr.Entries, TraceEntry{PhaseIdx: currentIdx, DurS: currentDur})
+	}
+	return tr, nil
+}
+
+// Replayer replays a Trace as a Source, looping when the trace is exhausted
+// so runs longer than the recording still see stationary behaviour.
+type Replayer struct {
+	trace      Trace
+	entry      int
+	remainingS float64
+}
+
+// NewReplayer creates a replayer positioned at the start of the trace.
+func NewReplayer(t Trace) (*Replayer, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Replayer{trace: t, remainingS: t.Entries[0].DurS}, nil
+}
+
+// Phase returns the active phase.
+func (r *Replayer) Phase() Phase {
+	return r.trace.Phases[r.trace.Entries[r.entry].PhaseIdx]
+}
+
+// PhaseIndex returns the active phase's index in the trace's phase table.
+func (r *Replayer) PhaseIndex() int { return r.trace.Entries[r.entry].PhaseIdx }
+
+// Advance moves forward dt seconds, looping over the trace as needed.
+func (r *Replayer) Advance(dt float64) int {
+	if dt < 0 {
+		panic(fmt.Sprintf("workload: negative dt %g", dt))
+	}
+	changes := 0
+	for dt >= r.remainingS {
+		dt -= r.remainingS
+		r.entry = (r.entry + 1) % len(r.trace.Entries)
+		r.remainingS = r.trace.Entries[r.entry].DurS
+		changes++
+	}
+	r.remainingS -= dt
+	return changes
+}
+
+// WriteJSON serialises the trace.
+func (t Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserialises and validates a trace.
+func ReadJSON(r io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}

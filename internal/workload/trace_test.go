@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRecordBasics(t *testing.T) {
+	tr, err := Record(MustPreset("bodytrack"), 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "bodytrack" {
+		t.Fatalf("trace name = %q", tr.Name)
+	}
+	if got := tr.TotalDurS(); got < 1.0-1e-6 {
+		t.Fatalf("trace covers %v s, want >= 1.0", got)
+	}
+	if len(tr.Entries) < 5 {
+		t.Fatalf("trace has only %d entries over 1 s", len(tr.Entries))
+	}
+}
+
+func TestRecordRejectsBadInput(t *testing.T) {
+	if _, err := Record(MustPreset("vips"), 1, 0); err == nil {
+		t.Fatal("expected error for zero duration")
+	}
+	bad := twoPhaseSpec()
+	bad.Name = ""
+	if _, err := Record(bad, 1, 1); err == nil {
+		t.Fatal("expected error for invalid spec")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{
+		Name:    "x",
+		Phases:  []Phase{{BaseCPI: 1, Activity: 0.5, MemLatencyNs: 80}},
+		Entries: []TraceEntry{{PhaseIdx: 0, DurS: 0.1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Trace{
+		{Name: "x", Entries: []TraceEntry{{0, 0.1}}},
+		{Name: "x", Phases: good.Phases},
+		{Name: "x", Phases: good.Phases, Entries: []TraceEntry{{PhaseIdx: 3, DurS: 0.1}}},
+		{Name: "x", Phases: good.Phases, Entries: []TraceEntry{{PhaseIdx: 0, DurS: 0}}},
+		{Name: "x", Phases: []Phase{{BaseCPI: -1}}, Entries: good.Entries},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestReplayerFollowsTrace(t *testing.T) {
+	tr := Trace{
+		Name: "r",
+		Phases: []Phase{
+			{Class: Compute, BaseCPI: 0.8, Activity: 0.9, MemLatencyNs: 80},
+			{Class: Memory, BaseCPI: 1.2, MPKI: 20, Activity: 0.4, MemLatencyNs: 80},
+		},
+		Entries: []TraceEntry{
+			{PhaseIdx: 0, DurS: 0.010},
+			{PhaseIdx: 1, DurS: 0.005},
+		},
+	}
+	r, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PhaseIndex() != 0 {
+		t.Fatal("replayer should start at entry 0")
+	}
+	if ch := r.Advance(0.010); ch != 1 || r.PhaseIndex() != 1 {
+		t.Fatalf("after 10ms: changes=%d idx=%d", ch, r.PhaseIndex())
+	}
+	// Trace loops: 5ms more returns to entry 0.
+	if ch := r.Advance(0.005); ch != 1 || r.PhaseIndex() != 0 {
+		t.Fatalf("loop failed: changes=%d idx=%d", ch, r.PhaseIndex())
+	}
+}
+
+func TestReplayerMatchesRecordedProcessStatistics(t *testing.T) {
+	// Replaying a long recording should reproduce the source's average CPI.
+	spec := MustPreset("ferret")
+	tr, err := Record(spec, 21, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const f = 2.5e9
+	const step = 1e-3
+	sum := 0.0
+	n := int(5.0 / step)
+	for i := 0; i < n; i++ {
+		sum += r.Phase().CPIAt(f)
+		r.Advance(step)
+	}
+	replayCPI := sum / float64(n)
+	c, err := Characterize(spec, 21, 5.0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replayCPI-c.MeanCPI)/c.MeanCPI > 0.05 {
+		t.Fatalf("replay mean CPI %v differs from recorded process %v", replayCPI, c.MeanCPI)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, err := Record(MustPreset("x264"), 9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || len(back.Entries) != len(tr.Entries) || len(back.Phases) != len(tr.Phases) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range tr.Entries {
+		if back.Entries[i] != tr.Entries[i] {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, back.Entries[i], tr.Entries[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"name":"x"}`)); err == nil {
+		t.Fatal("expected validation error for empty trace")
+	}
+}
+
+func TestNewReplayerRejectsInvalid(t *testing.T) {
+	if _, err := NewReplayer(Trace{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 9
+	opts.BudgetW = 20
+	opts.WarmupS = 0.05
+	opts.MeasureS = 0.1
+
+	for _, name := range ControllerNames() {
+		c, err := NewController(name, DefaultEnv(opts.Cores))
+		if err != nil {
+			t.Fatalf("NewController(%q): %v", name, err)
+		}
+		res, err := Run(opts, c)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", name, err)
+		}
+		if res.Summary.Controller != name {
+			t.Fatalf("result labelled %q, want %q", res.Summary.Controller, name)
+		}
+	}
+}
+
+func TestPublicNewODRL(t *testing.T) {
+	cfg := DefaultODRLConfig()
+	cfg.Lambda = 7
+	c, err := NewODRL(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "od-rl" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if _, err := NewODRL(0, cfg); err == nil {
+		t.Fatal("expected error for zero cores")
+	}
+}
+
+func TestPublicWorkloadSurface(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 10 {
+		t.Fatalf("WorkloadNames has %d entries", len(names))
+	}
+	spec, err := WorkloadPreset(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadPreset("nope"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestPublicExperimentSurface(t *testing.T) {
+	run, err := ExperimentByID("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultExperimentConfig()
+	cfg.Quick = true
+	tbl, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "T1") {
+		t.Fatal("table output missing ID")
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestPublicTableWriters(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Cores = 4
+	opts.BudgetW = 12
+	opts.WarmupS = 0.02
+	opts.MeasureS = 0.05
+	opts.TracePoints = 5
+	results, err := RunAll(opts, []string{"static"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csv, tr bytes.Buffer
+	if err := WriteSummaryTable(&tbl, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csv, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&tr, "static", results[0].Trace); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() == 0 || csv.Len() == 0 || tr.Len() == 0 {
+		t.Fatal("a writer produced no output")
+	}
+}
