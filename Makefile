@@ -1,0 +1,26 @@
+# Tier-1 gate: everything CI runs, in order. `make ci` must pass before
+# merging.
+
+GO ?= go
+
+.PHONY: ci vet build test bench-obs bench
+
+ci: vet build test bench-obs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Compile-and-run check of the observability benchmarks, including the
+# disabled-hot-path guarantee (<5 ns/epoch with tracing off). One
+# iteration keeps CI fast; run `make bench` for real numbers.
+bench-obs:
+	$(GO) test -run=- -bench=BenchmarkObs -benchtime=1x ./internal/obs/
+
+bench:
+	$(GO) test -run=- -bench=. -benchtime=1s ./internal/obs/

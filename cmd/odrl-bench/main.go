@@ -20,19 +20,34 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
-		quick      = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
-		cores      = flag.Int("cores", 0, "override platform core count")
-		budget     = flag.Float64("budget", 0, "override chip budget (W)")
-		seed       = flag.Uint64("seed", 0, "override random seed")
-		outDir     = flag.String("o", "", "also write one CSV per experiment into this directory")
-		reportFile = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
+		experiment  = flag.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
+		quick       = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
+		cores       = flag.Int("cores", 0, "override platform core count")
+		budget      = flag.Float64("budget", 0, "override chip budget (W)")
+		seed        = flag.Uint64("seed", 0, "override random seed")
+		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
+		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
+		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
+		traceEvery  = flag.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address for live profiling")
 	)
 	flag.Parse()
+
+	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(1)
+	}
+	defer ocli.Close()
+	// Experiments assemble runs internally, so the tracer hooks in through
+	// the harness-level default observer.
+	sim.DefaultObserver = ocli.Observer()
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -16,24 +16,35 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		controller = flag.String("controller", "od-rl", "controller name")
-		param      = flag.String("param", "budget", "swept parameter: budget | cores | epoch | seed")
-		values     = flag.String("values", "40,55,70,90", "comma-separated sweep values")
-		cores      = flag.Int("cores", 64, "core count (fixed unless swept)")
-		budget     = flag.Float64("budget", 55, "budget in W (fixed unless swept)")
-		workloadF  = flag.String("workload", "mix", "workload preset or 'mix'")
-		warmup     = flag.Float64("warmup", 2, "warmup seconds")
-		measure    = flag.Float64("measure", 4, "measurement seconds")
-		seed       = flag.Uint64("seed", 1, "seed (fixed unless swept)")
+		controller  = flag.String("controller", "od-rl", "controller name")
+		param       = flag.String("param", "budget", "swept parameter: budget | cores | epoch | seed")
+		values      = flag.String("values", "40,55,70,90", "comma-separated sweep values")
+		cores       = flag.Int("cores", 64, "core count (fixed unless swept)")
+		budget      = flag.Float64("budget", 55, "budget in W (fixed unless swept)")
+		workloadF   = flag.String("workload", "mix", "workload preset or 'mix'")
+		warmup      = flag.Float64("warmup", 2, "warmup seconds")
+		measure     = flag.Float64("measure", 4, "measurement seconds")
+		seed        = flag.Uint64("seed", 1, "seed (fixed unless swept)")
+		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file")
+		traceEvery  = flag.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
 	)
 	flag.Parse()
 
-	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s")
+	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+		os.Exit(1)
+	}
+	defer ocli.Close()
+
+	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s,ctrl_local_s,ctrl_global_s")
 	for _, raw := range strings.Split(*values, ",") {
 		raw = strings.TrimSpace(raw)
 		v, err := strconv.ParseFloat(raw, 64)
@@ -49,6 +60,7 @@ func main() {
 		opts.WarmupS = *warmup
 		opts.MeasureS = *measure
 		opts.Seed = *seed
+		opts.Observer = ocli.Observer()
 		switch *param {
 		case "budget":
 			opts.BudgetW = v
@@ -76,8 +88,9 @@ func main() {
 			os.Exit(1)
 		}
 		s := res.Summary
-		fmt.Printf("%s,%s,%s,%g,%g,%g,%g,%g,%g,%g\n",
+		fmt.Printf("%s,%s,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
 			*param, raw, s.Controller, s.BIPS(), s.MeanW, s.PeakW,
-			s.OverJ, s.OverTimeFrac(), s.EnergyEff(), s.CtrlTimeS)
+			s.OverJ, s.OverTimeFrac(), s.EnergyEff(), s.CtrlTimeS,
+			s.CtrlLocalTimeS, s.CtrlGlobalTimeS)
 	}
 }

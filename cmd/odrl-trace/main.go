@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -26,6 +27,7 @@ func main() {
 		dur       = flag.Float64("dur", 5, "trace duration in seconds")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		out       = flag.String("o", "", "output file (default stdout)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -33,6 +35,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "odrl-trace:", err)
 		os.Exit(1)
 	}
+
+	ocli, err := obs.StartCLI("", 1, *debugAddr)
+	if err != nil {
+		fail(err)
+	}
+	defer ocli.Close()
 
 	switch {
 	case *list:
@@ -47,6 +55,8 @@ func main() {
 		}
 
 	case *record:
+		obs.LogEvent(os.Stderr, "record-config",
+			"benchmark", *benchmark, "seed", *seed, "dur_s", *dur)
 		spec, err := workload.Preset(*benchmark)
 		if err != nil {
 			fail(err)

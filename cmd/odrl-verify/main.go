@@ -12,12 +12,25 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "small/short runs with relaxed thresholds")
 	seed := flag.Uint64("seed", 0, "override random seed")
+	traceEvents := flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
+	traceEvery := flag.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
 	flag.Parse()
+
+	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
+		os.Exit(1)
+	}
+	defer ocli.Close()
+	sim.DefaultObserver = ocli.Observer()
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick

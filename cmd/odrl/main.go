@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/sim"
 )
@@ -37,8 +38,37 @@ func main() {
 		configFile  = flag.String("config", "", "run a config.Experiment JSON file instead of flags")
 		writeConfig = flag.Bool("write-config", false, "print the default experiment JSON and exit")
 		plotTrace   = flag.Bool("plot", false, "render each controller's power trace as an ASCII chart")
+		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
+		traceEvery  = flag.Int("trace-every", 1, "sample every Nth epoch in -trace-events output")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl:", err)
+		os.Exit(1)
+	}
+	defer ocli.Close()
+	// Observe runs built anywhere below (flag path and -config path alike).
+	sim.DefaultObserver = ocli.Observer()
+
+	// logRunConfig makes a run reproducible from stderr alone.
+	logRunConfig := func(opts sim.Options) {
+		w, h, _ := sim.GridFor(opts.Cores)
+		warmupE, measureE := opts.Epochs()
+		obs.LogEvent(os.Stderr, "run-config",
+			"seed", opts.Seed,
+			"cores", opts.Cores,
+			"grid_w", w,
+			"grid_h", h,
+			"workload", opts.Workload,
+			"budget_w", opts.BudgetW,
+			"epoch_s", opts.EpochS,
+			"warmup_epochs", warmupE,
+			"measure_epochs", measureE,
+		)
+	}
 
 	if *writeConfig {
 		if err := config.DefaultExperiment().Save(os.Stdout); err != nil {
@@ -68,6 +98,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "odrl:", err)
 			os.Exit(1)
 		}
+		if err := sim.WritePhaseTable(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -89,6 +123,7 @@ func main() {
 		names = sim.ControllerNames()
 	}
 
+	logRunConfig(opts)
 	results, err := sim.RunAll(opts, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrl:", err)
@@ -103,6 +138,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrl:", err)
 		os.Exit(1)
+	}
+	if !*csvOut {
+		if err := sim.WritePhaseTable(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *plotTrace {

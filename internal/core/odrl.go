@@ -23,13 +23,23 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/manycore"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rl"
 	"repro/internal/rng"
 	"repro/internal/vf"
+)
+
+// Span indices into the controller's phase timer; the names are the
+// canonical obs phase constants so harness code can match on them.
+const (
+	spanLocal = iota
+	spanGlobal
+	spanComm
 )
 
 // Config holds OD-RL hyper-parameters. Zero fields take defaults from
@@ -180,6 +190,10 @@ type Controller struct {
 	emaPower   []float64 // smoothed per-core power, ReallocEMA only
 	epoch      int
 	started    bool
+
+	// phases profiles the two control layers separately (claim C4: the
+	// fine-grain layer is O(1) per core, only reallocation is global).
+	phases *obs.SpanTimer
 }
 
 // New creates an OD-RL controller for a chip with the given core count,
@@ -286,6 +300,7 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 		budgets: make([]float64, cores),
 		// Reward normalisation: the fastest plausible core, ~2 IPC at fmax.
 		maxIPS: 2 * table.Max().FreqHz,
+		phases: obs.NewSpanTimer(obs.PhaseLocal, obs.PhaseGlobal, obs.PhaseComm),
 	}
 	return c, nil
 }
@@ -377,6 +392,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 		c.lastBudget = budgetW
 	}
 
+	localStart := time.Now()
 	for i := 0; i < n; i++ {
 		ct := &tel.Cores[i]
 		if c.linAgents != nil {
@@ -395,6 +411,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 		}
 		out[i] = c.agents[i].Step(c.rewardOf(ct, c.budgets[i]), state)
 	}
+	c.phases.Observe(spanLocal, time.Since(localStart))
 	c.started = true
 	c.epoch++
 
@@ -412,9 +429,17 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 	}
 
 	if !c.cfg.DisableRealloc && c.epoch%c.cfg.FineEpochsPerRealloc == 0 {
+		globalStart := time.Now()
 		c.reallocate(tel, budgetW)
+		c.phases.Observe(spanGlobal, time.Since(globalStart))
 	}
 }
+
+// PhaseTimes implements ctrl.PhaseProfiler.
+func (c *Controller) PhaseTimes() []obs.PhaseTime { return c.phases.Snapshot() }
+
+// ResetPhaseTimes implements ctrl.PhaseProfiler.
+func (c *Controller) ResetPhaseTimes() { c.phases.Reset() }
 
 // reallocPower returns the power view the reallocation pass acts on.
 func (c *Controller) reallocPower(tel *manycore.Telemetry, i int) float64 {
@@ -556,6 +581,8 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 // local; only the reallocation pass (every K epochs) gathers telemetry and
 // scatters budgets, so its cost is amortised by K.
 func (c *Controller) CommPerEpoch(m *noc.Mesh) noc.Cost {
+	commStart := time.Now()
+	defer func() { c.phases.Observe(spanComm, time.Since(commStart)) }()
 	if c.cfg.DisableRealloc {
 		return noc.Cost{}
 	}

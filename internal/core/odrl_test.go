@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/manycore"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/vf"
 )
@@ -430,5 +431,50 @@ func TestFunctionApproxLearnsToAvoidOvershoot(t *testing.T) {
 	}
 	if overshootLate > 200 {
 		t.Fatalf("FA agent overshot its share in %d/1000 late epochs", overshootLate)
+	}
+}
+
+func TestPhaseTimesProfile(t *testing.T) {
+	c := newController(t, 16, Config{FineEpochsPerRealloc: 5})
+	tel := fakeTel(16, 2, 2.0, 0.3)
+	out := make([]int, 16)
+	const epochs = 20
+	for e := 0; e < epochs; e++ {
+		c.Decide(tel, 90, out)
+	}
+
+	byName := map[string]obs.PhaseTime{}
+	for _, pt := range c.PhaseTimes() {
+		byName[pt.Name] = pt
+	}
+	local, ok := byName[obs.PhaseLocal]
+	if !ok || local.Count != epochs {
+		t.Errorf("local phase = %+v, want count %d", local, epochs)
+	}
+	global := byName[obs.PhaseGlobal]
+	if want := int64(epochs / 5); global.Count != want {
+		t.Errorf("global phase count = %d, want %d (cadence 5 over %d epochs)", global.Count, want, epochs)
+	}
+	if local.Total <= 0 {
+		t.Errorf("local phase total = %v, want > 0", local.Total)
+	}
+
+	// Communication accounting is timed under the comm phase.
+	mesh, err := noc.New(4, 4, noc.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CommPerEpoch(mesh)
+	for _, pt := range c.PhaseTimes() {
+		if pt.Name == obs.PhaseComm && pt.Count != 1 {
+			t.Errorf("comm phase count = %d, want 1", pt.Count)
+		}
+	}
+
+	c.ResetPhaseTimes()
+	for _, pt := range c.PhaseTimes() {
+		if pt.Count != 0 || pt.Total != 0 {
+			t.Errorf("after reset, phase %s = %+v", pt.Name, pt)
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/manycore"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/vf"
 )
@@ -30,6 +31,18 @@ type Controller interface {
 	// communication cost on the given mesh (telemetry gather, command
 	// scatter, or neighbour exchange, amortised over its cadence).
 	CommPerEpoch(m *noc.Mesh) noc.Cost
+}
+
+// PhaseProfiler is optionally implemented by controllers that time their
+// decision phases (see obs.PhaseLocal et al.). The harness resets the
+// profile at the warmup/measurement boundary so phase totals split the
+// same window CtrlTimeS covers, and copies the totals into the run
+// summary's phase-time fields.
+type PhaseProfiler interface {
+	// PhaseTimes returns the accumulated per-phase wall-clock profile.
+	PhaseTimes() []obs.PhaseTime
+	// ResetPhaseTimes zeroes the profile.
+	ResetPhaseTimes()
 }
 
 // Predictor turns one core's observed telemetry into power and performance

@@ -29,6 +29,14 @@ type Summary struct {
 	MaxTempK float64
 	// CtrlTimeS is wall-clock time the controller spent deciding.
 	CtrlTimeS float64
+	// CtrlLocalTimeS and CtrlGlobalTimeS split CtrlTimeS for controllers
+	// that profile their phases (ctrl.PhaseProfiler): time in per-core
+	// (distributed) learning updates vs. the global budget-reallocation
+	// pass, over the same measurement window. Both are zero for
+	// controllers without phase probes; their sum may fall short of
+	// CtrlTimeS by the controller's untimed bookkeeping overhead.
+	CtrlLocalTimeS  float64
+	CtrlGlobalTimeS float64
 	// CommEnergyJ and CommLatencyS are modelled NoC control-traffic costs
 	// over the window.
 	CommEnergyJ  float64
@@ -50,6 +58,8 @@ func (s Summary) Validate() error {
 		return fmt.Errorf("metrics: overshoot %g exceeds energy %g", s.OverJ, s.EnergyJ)
 	case s.OverTimeS > s.DurS+1e-9:
 		return fmt.Errorf("metrics: over-budget time %g exceeds duration %g", s.OverTimeS, s.DurS)
+	case s.CtrlLocalTimeS < 0 || s.CtrlGlobalTimeS < 0:
+		return fmt.Errorf("metrics: negative controller phase time (%g, %g)", s.CtrlLocalTimeS, s.CtrlGlobalTimeS)
 	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI owns the observability resources a command wires up from its flags:
+// an optional JSONL tracer and an optional HTTP debug endpoint, sharing
+// one metrics registry.
+type CLI struct {
+	Registry *Registry
+	// Tracer is nil unless a trace file or debug address was requested
+	// (with only a debug address, events go to a discard sink and the
+	// registry still fills for /debug/obs).
+	Tracer *Tracer
+	// Debug is nil unless a debug address was requested.
+	Debug *DebugServer
+}
+
+// StartCLI builds the standard command wiring: traceFile "" disables
+// tracing and "-" streams to stdout; traceEvery is the decimation stride;
+// debugAddr "" disables the debug endpoint.
+func StartCLI(traceFile string, traceEvery int, debugAddr string) (*CLI, error) {
+	c := &CLI{Registry: NewRegistry()}
+	if traceFile != "" {
+		var w io.Writer
+		if traceFile == "-" {
+			// Hide stdout's Closer so Close never shuts the process stream.
+			w = struct{ io.Writer }{os.Stdout}
+		} else {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				return nil, fmt.Errorf("obs: trace file: %w", err)
+			}
+			w = f
+		}
+		c.Tracer = NewTracer(NewWriterSink(w), TracerOptions{Every: traceEvery, Registry: c.Registry})
+	} else if debugAddr != "" {
+		// Debug endpoint without a trace file: feed the tracer to a discard
+		// sink so /debug/obs still shows live counters and the decide-latency
+		// histogram instead of an empty registry.
+		c.Tracer = NewTracer(NewWriterSink(io.Discard), TracerOptions{Every: traceEvery, Registry: c.Registry})
+	}
+	if debugAddr != "" {
+		d, err := StartDebug(debugAddr, c.Registry)
+		if err != nil {
+			c.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		c.Debug = d
+	}
+	return c, nil
+}
+
+// Observer returns the tracer as an Observer, or nil when tracing is off,
+// so callers can assign it straight to a harness hook point.
+func (c *CLI) Observer() Observer {
+	if c.Tracer == nil {
+		return nil
+	}
+	return c.Tracer
+}
+
+// Close flushes the tracer and stops the debug server.
+func (c *CLI) Close() error {
+	var first error
+	if c.Tracer != nil {
+		if err := c.Tracer.Close(); err != nil {
+			first = err
+		}
+	}
+	if c.Debug != nil {
+		if err := c.Debug.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

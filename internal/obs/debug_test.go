@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("epochs").Add(42)
+	reg.Gauge("power_w").Set(88.5)
+
+	d, err := StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr() + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/obs status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["epochs"] != 42 || snap.Gauges["power_w"] != 88.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	resp, err = http.Get("http://" + d.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+func TestStartDebugNilRegistry(t *testing.T) {
+	if _, err := StartDebug("127.0.0.1:0", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+}

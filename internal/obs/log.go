@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LogEvent writes one structured JSONL record {"event": name, key: value,
+// …} to w, for run-configuration lines that make logs self-describing and
+// runs reproducible from stderr alone. kv is alternating key, value pairs;
+// a trailing odd key is recorded under "!BADKEY".
+func LogEvent(w io.Writer, event string, kv ...any) error {
+	m := make(map[string]any, 1+len(kv)/2)
+	m["event"] = event
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		m[key] = kv[i+1]
+	}
+	if len(kv)%2 != 0 {
+		m["!BADKEY"] = kv[len(kv)-1]
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Canonical controller phase names; sim maps these onto metrics.Summary
+// phase-time fields.
+const (
+	PhaseLocal  = "local"  // per-core (distributed) learning updates
+	PhaseGlobal = "global" // global budget reallocation
+	PhaseComm   = "comm"   // communication accounting
+)
+
+// PhaseTime is one phase's accumulated wall-clock profile.
+type PhaseTime struct {
+	Name  string        `json:"name"`
+	Total time.Duration `json:"total_ns"`
+	Count int64         `json:"count"`
+}
+
+// Mean returns the average span duration (0 when empty).
+func (p PhaseTime) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// SpanTimer accumulates wall-clock time into named phases. Recording is a
+// pair of atomic adds, cheap enough to stay enabled on controller hot
+// paths; reads (Snapshot) and Reset may race with writers and see a
+// slightly torn but individually consistent view, which is fine for
+// profiling.
+type SpanTimer struct {
+	names []string
+	ns    []atomic.Int64
+	n     []atomic.Int64
+}
+
+// NewSpanTimer builds a timer over a fixed set of phase names; phases are
+// addressed by their index in this list.
+func NewSpanTimer(names ...string) *SpanTimer {
+	return &SpanTimer{
+		names: append([]string(nil), names...),
+		ns:    make([]atomic.Int64, len(names)),
+		n:     make([]atomic.Int64, len(names)),
+	}
+}
+
+// Observe adds one span of duration d to phase i.
+func (t *SpanTimer) Observe(i int, d time.Duration) {
+	t.ns[i].Add(int64(d))
+	t.n[i].Add(1)
+}
+
+// Total returns phase i's accumulated duration.
+func (t *SpanTimer) Total(i int) time.Duration {
+	return time.Duration(t.ns[i].Load())
+}
+
+// Snapshot copies every phase's accumulated profile, in construction order.
+func (t *SpanTimer) Snapshot() []PhaseTime {
+	out := make([]PhaseTime, len(t.names))
+	for i, name := range t.names {
+		out[i] = PhaseTime{
+			Name:  name,
+			Total: time.Duration(t.ns[i].Load()),
+			Count: t.n[i].Load(),
+		}
+	}
+	return out
+}
+
+// Reset zeroes all phases, e.g. at the warmup/measurement boundary so
+// phase totals cover the same window as the run's controller-time metric.
+func (t *SpanTimer) Reset() {
+	for i := range t.ns {
+		t.ns[i].Store(0)
+		t.n[i].Store(0)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanTimer(t *testing.T) {
+	st := NewSpanTimer(PhaseLocal, PhaseGlobal, PhaseComm)
+	st.Observe(0, 10*time.Millisecond)
+	st.Observe(0, 5*time.Millisecond)
+	st.Observe(1, 2*time.Millisecond)
+
+	if got := st.Total(0); got != 15*time.Millisecond {
+		t.Errorf("local total = %v, want 15ms", got)
+	}
+	snap := st.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d phases, want 3", len(snap))
+	}
+	if snap[0].Name != PhaseLocal || snap[0].Count != 2 || snap[0].Total != 15*time.Millisecond {
+		t.Errorf("local = %+v", snap[0])
+	}
+	if snap[0].Mean() != 7500*time.Microsecond {
+		t.Errorf("local mean = %v, want 7.5ms", snap[0].Mean())
+	}
+	if snap[1].Name != PhaseGlobal || snap[1].Count != 1 {
+		t.Errorf("global = %+v", snap[1])
+	}
+	if snap[2].Name != PhaseComm || snap[2].Count != 0 || snap[2].Mean() != 0 {
+		t.Errorf("comm = %+v", snap[2])
+	}
+
+	st.Reset()
+	for _, p := range st.Snapshot() {
+		if p.Total != 0 || p.Count != 0 {
+			t.Errorf("after reset, %s = %+v", p.Name, p)
+		}
+	}
+}

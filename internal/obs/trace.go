@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// RunMeta identifies one simulation run in the trace stream.
+type RunMeta struct {
+	Controller string  `json:"controller,omitempty"`
+	Workload   string  `json:"workload,omitempty"`
+	Cores      int     `json:"cores,omitempty"`
+	BudgetW    float64 `json:"budget_w,omitempty"`
+	EpochS     float64 `json:"epoch_s,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+// EpochEvent is one sampled measurement epoch. Epoch counts from zero at
+// the start of the measurement window. PowerW is the exact (noise-free)
+// chip power, so integrating PowerW·EpochS over an undecimated trace
+// reproduces the run's measured energy.
+type EpochEvent struct {
+	Epoch      int     `json:"epoch"`
+	TimeS      float64 `json:"time_s"`
+	PowerW     float64 `json:"power_w"`
+	BudgetW    float64 `json:"budget_w"`
+	OvershootW float64 `json:"overshoot_w"`
+	MaxTempK   float64 `json:"max_temp_k"`
+	// IslandPowerW sums observed per-core power by voltage-frequency
+	// island (one entry for the whole chip when per-core DVFS is active).
+	IslandPowerW []float64 `json:"island_power_w,omitempty"`
+	// LevelHist counts cores per VF level at the start of the epoch.
+	LevelHist []int `json:"level_hist,omitempty"`
+	// DecideNs is the wall-clock controller decision latency this epoch.
+	DecideNs int64 `json:"decide_ns"`
+}
+
+// Record is one decoded JSONL trace line. Type selects which of the other
+// fields are meaningful.
+type Record struct {
+	Type string `json:"type"` // "run_start" | "epoch" | "run_end"
+	Run  int64  `json:"run"`
+	// Meta is valid for run_start records.
+	Meta RunMeta `json:"-"`
+	// Event is valid for epoch records.
+	Event EpochEvent `json:"-"`
+	// Epochs and Sampled are valid for run_end records.
+	Epochs  int `json:"epochs,omitempty"`
+	Sampled int `json:"sampled,omitempty"`
+}
+
+// wire shapes for emission: embedding inlines the payload fields so each
+// line is one flat JSON object.
+type runStartRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	RunMeta
+}
+
+type epochRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	EpochEvent
+}
+
+type runEndRec struct {
+	Type    string `json:"type"`
+	Run     int64  `json:"run"`
+	Epochs  int    `json:"epochs"`
+	Sampled int    `json:"sampled"`
+}
+
+// Sink consumes encoded trace lines. Emit receives one JSON object without
+// a trailing newline and must not retain the slice. Implementations are
+// called under the tracer's lock, so they need not be concurrency-safe.
+type Sink interface {
+	Emit(line []byte) error
+	Close() error
+}
+
+// WriterSink buffers lines to an io.Writer, closing it on Close when it is
+// also an io.Closer.
+type WriterSink struct {
+	w  io.Writer
+	bw *bufio.Writer
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{w: w, bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(line []byte) error {
+	if _, err := s.bw.Write(line); err != nil {
+		return err
+	}
+	return s.bw.WriteByte('\n')
+}
+
+// Close implements Sink.
+func (s *WriterSink) Close() error {
+	err := s.bw.Flush()
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Observer receives structured events from simulation runs. BeginRun is
+// called once per run and returns a handle scoped to that run, so one
+// Observer may watch many (possibly concurrent) runs.
+type Observer interface {
+	BeginRun(meta RunMeta) RunObserver
+}
+
+// RunObserver consumes one run's epoch stream. The harness calls
+// ShouldSample first and skips event assembly entirely when it returns
+// false, keeping the disabled path free. ObserveEpoch must not retain the
+// event or its slices. End marks the run finished.
+type RunObserver interface {
+	ShouldSample(epoch int) bool
+	ObserveEpoch(ev *EpochEvent)
+	End()
+}
+
+// Nop returns an Observer whose runs sample nothing — the reference
+// "disabled" observer whose per-epoch cost is a single predictable branch.
+func Nop() Observer { return nopObserver{} }
+
+type nopObserver struct{}
+
+func (nopObserver) BeginRun(RunMeta) RunObserver { return nopRun{} }
+
+type nopRun struct{}
+
+func (nopRun) ShouldSample(int) bool    { return false }
+func (nopRun) ObserveEpoch(*EpochEvent) {}
+func (nopRun) End()                     {}
+
+// TracerOptions tunes a Tracer.
+type TracerOptions struct {
+	// Every is the decimation stride: epochs 0, Every, 2·Every, … are
+	// sampled. Values below 1 default to 1 (sample every epoch).
+	Every int
+	// Registry, when set, receives aggregate tracer metrics: run and
+	// sample counters plus a decision-latency histogram.
+	Registry *Registry
+}
+
+// Tracer is an Observer that emits JSONL records to a Sink. It is safe for
+// concurrent runs; lines from interleaved runs are distinguished by run ID.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	every int
+	runs  atomic.Int64
+
+	runCtr    *Counter
+	sampleCtr *Counter
+	decideHist *Histogram
+}
+
+// NewTracer builds a tracer over the sink.
+func NewTracer(sink Sink, opt TracerOptions) *Tracer {
+	if opt.Every < 1 {
+		opt.Every = 1
+	}
+	t := &Tracer{sink: sink, every: opt.Every}
+	if r := opt.Registry; r != nil {
+		t.runCtr = r.Counter("obs.trace.runs")
+		t.sampleCtr = r.Counter("obs.trace.samples")
+		// Decision latency from sub-microsecond per-core loops up to
+		// multi-millisecond centralised sweeps.
+		t.decideHist, _ = r.Histogram("obs.trace.decide_ns", []float64{
+			1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+		})
+	}
+	return t
+}
+
+// BeginRun implements Observer.
+func (t *Tracer) BeginRun(meta RunMeta) RunObserver {
+	id := t.runs.Add(1)
+	if t.runCtr != nil {
+		t.runCtr.Inc()
+	}
+	t.emit(runStartRec{Type: "run_start", Run: id, RunMeta: meta})
+	return &runTracer{t: t, id: id}
+}
+
+// Close flushes and closes the sink.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink.Close()
+}
+
+func (t *Tracer) emit(rec any) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink.Emit(b) //nolint:errcheck // tracing is best-effort; sinks surface errors on Close
+}
+
+type runTracer struct {
+	t       *Tracer
+	id      int64
+	epochs  int
+	sampled int
+}
+
+// ShouldSample implements RunObserver.
+func (r *runTracer) ShouldSample(epoch int) bool {
+	return epoch%r.t.every == 0
+}
+
+// ObserveEpoch implements RunObserver.
+func (r *runTracer) ObserveEpoch(ev *EpochEvent) {
+	if ev.Epoch+1 > r.epochs {
+		r.epochs = ev.Epoch + 1
+	}
+	r.sampled++
+	if r.t.sampleCtr != nil {
+		r.t.sampleCtr.Inc()
+	}
+	if r.t.decideHist != nil {
+		r.t.decideHist.Observe(float64(ev.DecideNs))
+	}
+	r.t.emit(epochRec{Type: "epoch", Run: r.id, EpochEvent: *ev})
+}
+
+// End implements RunObserver.
+func (r *runTracer) End() {
+	r.t.emit(runEndRec{Type: "run_end", Run: r.id, Epochs: r.epochs, Sampled: r.sampled})
+}
+
+// ReadRecords parses a JSONL trace stream back into records, the inverse
+// of what Tracer emits.
+func ReadRecords(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+			Run  int64  `json:"run"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		rec := Record{Type: probe.Type, Run: probe.Run}
+		switch probe.Type {
+		case "run_start":
+			if err := json.Unmarshal(raw, &rec.Meta); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "epoch":
+			if err := json.Unmarshal(raw, &rec.Event); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "run_end":
+			var end runEndRec
+			if err := json.Unmarshal(raw, &end); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			rec.Epochs, rec.Sampled = end.Epochs, end.Sampled
+		default:
+			return nil, fmt.Errorf("obs: trace line %d: unknown record type %q", line, probe.Type)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"repro/internal/manycore"
+	"repro/internal/obs"
+)
+
+// DefaultObserver, when non-nil, observes every run whose Options.Observer
+// is nil. It exists so CLIs can watch runs that deeper layers (package
+// experiments) assemble internally without threading an observer through
+// every experiment signature. Set it once at process startup; changing it
+// while simulations run is racy.
+var DefaultObserver obs.Observer
+
+// eventScratch holds the reusable per-sample aggregation buffers for one
+// run's epoch events, so sampling allocates nothing after the first epoch.
+type eventScratch struct {
+	islands       []float64
+	hist          []int
+	gridW         int
+	islandW       int
+	islandH       int
+	islandsPerRow int
+}
+
+// newEventScratch sizes buffers from the chip configuration. With per-core
+// DVFS (island size 0) the whole chip aggregates into one island entry.
+func newEventScratch(cfg manycore.Config) *eventScratch {
+	s := &eventScratch{gridW: cfg.Width}
+	nIslands := 1
+	if cfg.IslandW > 0 && cfg.IslandH > 0 {
+		s.islandW, s.islandH = cfg.IslandW, cfg.IslandH
+		s.islandsPerRow = cfg.Width / cfg.IslandW
+		nIslands = s.islandsPerRow * (cfg.Height / cfg.IslandH)
+	}
+	s.islands = make([]float64, nIslands)
+	s.hist = make([]int, cfg.VF.Levels())
+	return s
+}
+
+// fill populates the event's island-power and VF-level histogram from this
+// epoch's telemetry, reusing the scratch buffers (the observer contract
+// forbids retaining them).
+func (s *eventScratch) fill(ev *obs.EpochEvent, tel *manycore.Telemetry) {
+	for i := range s.islands {
+		s.islands[i] = 0
+	}
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	for i := range tel.Cores {
+		ct := &tel.Cores[i]
+		if ct.Level >= 0 && ct.Level < len(s.hist) {
+			s.hist[ct.Level]++
+		}
+		isl := 0
+		if s.islandW > 0 {
+			x, y := i%s.gridW, i/s.gridW
+			isl = (y/s.islandH)*s.islandsPerRow + x/s.islandW
+		}
+		s.islands[isl] += ct.PowerW
+	}
+	ev.IslandPowerW = s.islands
+	ev.LevelHist = s.hist
+}

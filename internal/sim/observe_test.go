@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// quickOpts is a small, fast run shared by the observability tests.
+func quickOpts() Options {
+	opts := DefaultOptions()
+	opts.Cores = 16
+	opts.WarmupS = 0.05
+	opts.MeasureS = 0.2
+	return opts
+}
+
+// TestTraceDecimationCount is the regression test for the trace stride:
+// when TracePoints does not divide the measurement epoch count, ceiling
+// division must keep the recorded trace within the requested point count
+// (the old floor stride could overshoot it by almost 2×).
+func TestTraceDecimationCount(t *testing.T) {
+	cases := []struct {
+		measureS float64
+		points   int
+	}{
+		{0.2, 30},  // 200 epochs, 30 points: 200/30 floors to 6 → 34 points
+		{0.2, 64},  // 200/64 floors to 3 → 67 points
+		{0.1, 100}, // exact divide: stride 1, exactly 100
+		{0.1, 7},   // 100/7 floors to 14 → 15 points
+		{0.01, 50}, // fewer epochs than points: stride 1, 10 points
+	}
+	for _, tc := range cases {
+		opts := quickOpts()
+		opts.MeasureS = tc.measureS
+		opts.TracePoints = tc.points
+		_, measureEpochs := opts.Epochs()
+
+		c, err := NewController("static", DefaultEnv(opts.Cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(opts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(res.Trace)
+		if got > tc.points {
+			t.Errorf("measure=%gs points=%d: recorded %d trace points, exceeds request",
+				tc.measureS, tc.points, got)
+		}
+		want := tc.points
+		if measureEpochs < want {
+			want = measureEpochs
+		}
+		// Ceiling division guarantees at least half the request is used
+		// whenever enough epochs exist.
+		if got < (want+1)/2 {
+			t.Errorf("measure=%gs points=%d: recorded only %d trace points, want >= %d",
+				tc.measureS, tc.points, got, (want+1)/2)
+		}
+	}
+}
+
+// TestRunObserverTrace runs with a JSONL tracer attached and checks the
+// acceptance property: the undecimated per-epoch power integral matches
+// the run's measured energy within 1%, and the event stream is
+// structurally sound.
+func TestRunObserverTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(obs.NewWriterSink(&buf), obs.TracerOptions{Every: 1})
+
+	opts := quickOpts()
+	opts.Observer = tracer
+	env := EnvFor64(t, opts)
+	c, err := NewController("od-rl", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(opts, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, measureEpochs := opts.Epochs()
+	if want := measureEpochs + 2; len(recs) != want {
+		t.Fatalf("got %d records, want %d (start + %d epochs + end)", len(recs), want, measureEpochs)
+	}
+	start, end := recs[0], recs[len(recs)-1]
+	if start.Type != "run_start" || start.Meta.Controller != "od-rl" ||
+		start.Meta.Cores != opts.Cores || start.Meta.Seed != opts.Seed {
+		t.Errorf("run_start = %+v", start)
+	}
+	if end.Type != "run_end" || end.Sampled != measureEpochs {
+		t.Errorf("run_end = %+v, want sampled=%d", end, measureEpochs)
+	}
+
+	var energyJ, islandJ float64
+	for _, r := range recs[1 : len(recs)-1] {
+		ev := r.Event
+		if r.Type != "epoch" {
+			t.Fatalf("unexpected record type %q mid-run", r.Type)
+		}
+		energyJ += ev.PowerW * opts.EpochS
+		levels := 0
+		for _, n := range ev.LevelHist {
+			levels += n
+		}
+		if levels != opts.Cores {
+			t.Errorf("epoch %d: level histogram sums to %d cores, want %d", ev.Epoch, levels, opts.Cores)
+		}
+		if len(ev.IslandPowerW) != 1 {
+			t.Errorf("epoch %d: %d islands for per-core DVFS, want 1", ev.Epoch, len(ev.IslandPowerW))
+		}
+		for _, p := range ev.IslandPowerW {
+			islandJ += p * opts.EpochS
+		}
+		if ev.OvershootW < 0 || (ev.PowerW > ev.BudgetW && ev.OvershootW == 0) {
+			t.Errorf("epoch %d: inconsistent overshoot %g (power %g, budget %g)",
+				ev.Epoch, ev.OvershootW, ev.PowerW, ev.BudgetW)
+		}
+	}
+	if rel := math.Abs(energyJ-res.Summary.EnergyJ) / res.Summary.EnergyJ; rel > 0.01 {
+		t.Errorf("trace power integral %g J vs measured energy %g J: %.2f%% off, want <1%%",
+			energyJ, res.Summary.EnergyJ, 100*rel)
+	}
+	// Island sums use observed (noisy, core-only) power, so allow a looser
+	// envelope against exact chip energy (which includes uncore).
+	if islandJ <= 0 || islandJ > energyJ {
+		t.Errorf("island power integral %g J outside (0, %g]", islandJ, energyJ)
+	}
+}
+
+// EnvFor64 wraps EnvFor for tests, failing on error.
+func EnvFor64(t *testing.T, opts Options) Env {
+	t.Helper()
+	env, err := EnvFor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestRunPhaseSplit checks that the od-rl controller's decision time is
+// split into local-learning and global-reallocation phases covering the
+// measurement window.
+func TestRunPhaseSplit(t *testing.T) {
+	opts := quickOpts()
+	c, err := NewController("od-rl", EnvFor64(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(opts, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.CtrlLocalTimeS <= 0 {
+		t.Errorf("CtrlLocalTimeS = %g, want > 0", s.CtrlLocalTimeS)
+	}
+	if s.CtrlGlobalTimeS <= 0 {
+		t.Errorf("CtrlGlobalTimeS = %g, want > 0", s.CtrlGlobalTimeS)
+	}
+	// The phases are sub-spans of the timed Decide calls; allow generous
+	// slop for timer granularity but catch gross double counting.
+	if sum := s.CtrlLocalTimeS + s.CtrlGlobalTimeS; sum > 2*s.CtrlTimeS+1e-3 {
+		t.Errorf("phase sum %g s wildly exceeds CtrlTimeS %g s", sum, s.CtrlTimeS)
+	}
+
+	// Baselines without probes report zero phase time.
+	c2, err := NewController("static", EnvFor64(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(opts, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Summary.CtrlLocalTimeS != 0 || res2.Summary.CtrlGlobalTimeS != 0 {
+		t.Errorf("static controller has phase times %g/%g, want 0/0",
+			res2.Summary.CtrlLocalTimeS, res2.Summary.CtrlGlobalTimeS)
+	}
+}
+
+// TestDefaultObserverFallback proves the package-level observer hook sees
+// runs whose Options carry no observer.
+func TestDefaultObserverFallback(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(obs.NewWriterSink(&buf), obs.TracerOptions{Every: 50})
+	DefaultObserver = tracer
+	defer func() { DefaultObserver = nil }()
+
+	opts := quickOpts()
+	c, err := NewController("greedy", EnvFor64(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(opts, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("default observer saw %d records, want at least start+sample+end", len(recs))
+	}
+	if recs[0].Meta.Controller != "greedy" {
+		t.Errorf("controller = %q, want greedy", recs[0].Meta.Controller)
+	}
+}
+
+// TestIslandEventGrouping checks per-island aggregation when islands are
+// configured.
+func TestIslandEventGrouping(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(obs.NewWriterSink(&buf), obs.TracerOptions{Every: 100})
+
+	opts := quickOpts()
+	opts.Cores = 16 // 4×4 grid
+	opts.IslandW, opts.IslandH = 2, 2
+	opts.Observer = tracer
+	c, err := NewController("static", EnvFor64(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(opts, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEpoch := false
+	for _, r := range recs {
+		if r.Type != "epoch" {
+			continue
+		}
+		sawEpoch = true
+		if len(r.Event.IslandPowerW) != 4 {
+			t.Errorf("epoch %d: %d islands, want 4 (4×4 grid of 2×2 islands)",
+				r.Event.Epoch, len(r.Event.IslandPowerW))
+		}
+	}
+	if !sawEpoch {
+		t.Error("no epoch events recorded")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/variation"
 	"repro/internal/workload"
 )
@@ -68,6 +69,10 @@ type Options struct {
 	// uses big (wide, power-hungry) cores and the right half little
 	// (efficient) ones. Controllers are not told which is which.
 	BigLittle bool
+	// Observer, when set, receives structured epoch events for the
+	// measurement window (see package obs). Nil (the default) costs one
+	// branch per epoch. Falls back to DefaultObserver when nil.
+	Observer obs.Observer
 }
 
 // DefaultOptions returns the default 64-core platform run: 90 W budget,
@@ -136,6 +141,12 @@ func (o Options) Validate() error {
 		prev = s.AtS
 	}
 	return nil
+}
+
+// Epochs returns the warmup and measurement epoch counts Run will use, so
+// callers logging run configuration agree with the harness's rounding.
+func (o Options) Epochs() (warmup, measure int) {
+	return int(o.WarmupS/o.EpochS + 0.5), int(o.MeasureS/o.EpochS + 0.5)
 }
 
 // budgetAt resolves the budget in force at simulated time t.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/manycore"
 	"repro/internal/metrics"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/rng"
 	"repro/internal/variation"
@@ -172,16 +173,40 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	}
 	cfg := chip.Config()
 
-	warmupEpochs := int(opts.WarmupS/opts.EpochS + 0.5)
-	measureEpochs := int(opts.MeasureS/opts.EpochS + 0.5)
+	warmupEpochs, measureEpochs := opts.Epochs()
 	totalEpochs := warmupEpochs + measureEpochs
 
 	traceEvery := 0
 	if opts.TracePoints > 0 {
-		traceEvery = measureEpochs / opts.TracePoints
+		// Ceiling division: a floor stride records up to nearly twice the
+		// requested point count when TracePoints does not divide
+		// measureEpochs; rounding the stride up keeps len(trace) within
+		// the request.
+		traceEvery = (measureEpochs + opts.TracePoints - 1) / opts.TracePoints
 		if traceEvery < 1 {
 			traceEvery = 1
 		}
+	}
+
+	observer := opts.Observer
+	if observer == nil {
+		observer = DefaultObserver
+	}
+	var (
+		runObs  obs.RunObserver
+		scratch *eventScratch
+	)
+	if observer != nil {
+		runObs = observer.BeginRun(obs.RunMeta{
+			Controller: c.Name(),
+			Workload:   opts.Workload,
+			Cores:      opts.Cores,
+			BudgetW:    opts.BudgetW,
+			EpochS:     opts.EpochS,
+			Seed:       opts.Seed,
+		})
+		defer runObs.End()
+		scratch = newEventScratch(cfg)
 	}
 
 	var (
@@ -196,6 +221,11 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	for e := 0; e < totalEpochs; e++ {
 		if e == warmupEpochs {
 			instrStart = chip.Instructions()
+			// Re-zero phase probes so their totals split CtrlTimeS over
+			// the same measurement window.
+			if pp, ok := c.(ctrl.PhaseProfiler); ok {
+				pp.ResetPhaseTimes()
+			}
 		}
 		tStart := chip.TimeS()
 		budget := opts.budgetAt(tStart)
@@ -219,11 +249,43 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 
 		start := time.Now()
 		c.Decide(&tel, budget, out)
+		var decide time.Duration
 		if measuring {
-			ctrlTime += time.Since(start)
+			decide = time.Since(start)
+			ctrlTime += decide
+		}
+		if runObs != nil && measuring {
+			me := e - warmupEpochs
+			if runObs.ShouldSample(me) {
+				ev := obs.EpochEvent{
+					Epoch:    me,
+					TimeS:    tel.TimeS,
+					PowerW:   tel.TruePowerW,
+					BudgetW:  budget,
+					MaxTempK: chip.MaxTempK(),
+					DecideNs: int64(decide),
+				}
+				if tel.TruePowerW > budget {
+					ev.OvershootW = tel.TruePowerW - budget
+				}
+				scratch.fill(&ev, &tel)
+				runObs.ObserveEpoch(&ev)
+			}
 		}
 		for i, l := range out {
 			chip.SetLevel(i, l)
+		}
+	}
+
+	var localS, globalS float64
+	if pp, ok := c.(ctrl.PhaseProfiler); ok {
+		for _, pt := range pp.PhaseTimes() {
+			switch pt.Name {
+			case obs.PhaseLocal:
+				localS = pt.Total.Seconds()
+			case obs.PhaseGlobal:
+				globalS = pt.Total.Seconds()
+			}
 		}
 	}
 
@@ -241,8 +303,10 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 		PeakW:        meter.PeakW(),
 		MeanW:        meter.MeanW(),
 		MaxTempK:     maxTempK,
-		CtrlTimeS:    ctrlTime.Seconds(),
-		CommEnergyJ:  comm.EnergyJ * float64(measureEpochs),
+		CtrlTimeS:       ctrlTime.Seconds(),
+		CtrlLocalTimeS:  localS,
+		CtrlGlobalTimeS: globalS,
+		CommEnergyJ:     comm.EnergyJ * float64(measureEpochs),
 		CommLatencyS: comm.LatencyS * float64(measureEpochs),
 	}
 	if err := summary.Validate(); err != nil {

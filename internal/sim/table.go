@@ -75,6 +75,50 @@ func WriteTrace(w io.Writer, label string, trace []TracePoint) error {
 	return nil
 }
 
+// WritePhaseTable renders the controller-phase breakdown (claim C4's
+// inspectable form): how each profiled controller's decision time splits
+// between local per-core learning and the global reallocation pass.
+// Results without phase data are skipped; with none at all it writes
+// nothing.
+func WritePhaseTable(w io.Writer, results []Result) error {
+	header := []string{
+		"controller", "ctrl(ms)", "local(ms)", "global(ms)", "other(ms)", "local(%)", "global(%)",
+	}
+	rows := [][]string{header}
+	for _, r := range results {
+		s := r.Summary
+		if s.CtrlLocalTimeS == 0 && s.CtrlGlobalTimeS == 0 {
+			continue
+		}
+		other := s.CtrlTimeS - s.CtrlLocalTimeS - s.CtrlGlobalTimeS
+		if other < 0 {
+			other = 0
+		}
+		pct := func(v float64) string {
+			if s.CtrlTimeS <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*v/s.CtrlTimeS)
+		}
+		rows = append(rows, []string{
+			s.Controller,
+			fmt.Sprintf("%.3f", s.CtrlTimeS*1e3),
+			fmt.Sprintf("%.3f", s.CtrlLocalTimeS*1e3),
+			fmt.Sprintf("%.3f", s.CtrlGlobalTimeS*1e3),
+			fmt.Sprintf("%.3f", other*1e3),
+			pct(s.CtrlLocalTimeS),
+			pct(s.CtrlGlobalTimeS),
+		})
+	}
+	if len(rows) == 1 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "\ncontroller decision-time phase breakdown:"); err != nil {
+		return err
+	}
+	return writeAligned(w, rows)
+}
+
 // writeAligned pads each column to its widest cell.
 func writeAligned(w io.Writer, rows [][]string) error {
 	if len(rows) == 0 {
