@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-obs bench
+.PHONY: ci vet build test test-determinism race-par bench-obs bench bench-par
 
-ci: vet build test bench-obs
+ci: vet build test test-determinism race-par bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,18 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Determinism gate for the parallel execution layer: sequential (Workers=1)
+# and parallel (Workers=8) runs must produce byte-identical tables and
+# telemetry at every level (experiment fan-out, chip stepping, OD-RL).
+test-determinism:
+	$(GO) test -run 'TestParallelDeterminism|TestStepParallelDeterminism|TestDecideParallelDeterminism' \
+		./internal/experiments/ ./internal/manycore/ ./internal/core/
+
+# Race gate on the packages the parallel layer touches most; `make test`
+# already runs -race repo-wide, this narrows the loop while iterating.
+race-par:
+	$(GO) test -race ./internal/par/ ./internal/experiments/ ./internal/obs/
+
 # Compile-and-run check of the observability benchmarks, including the
 # disabled-hot-path guarantee (<5 ns/epoch with tracing off). One
 # iteration keeps CI fast; run `make bench` for real numbers.
@@ -24,3 +36,10 @@ bench-obs:
 
 bench:
 	$(GO) test -run=- -bench=. -benchtime=1s ./internal/obs/
+
+# Sequential-vs-parallel wall-clock comparison: writes BENCH_par.json
+# (workers, wall-clock seconds, speedup per case) and runs the Step/Sweep
+# parallel benchmarks. Speedup is bounded by host CPU count.
+bench-par:
+	$(GO) run ./cmd/odrl-bench -bench-par BENCH_par.json
+	$(GO) test -run=- -bench='BenchmarkStepParallel|BenchmarkStepSequential|BenchmarkSweepParallel' -benchtime=1s .

@@ -125,6 +125,68 @@ func BenchmarkChipEpoch64(b *testing.B) {
 	}
 }
 
+// benchStepParallel measures chip stepping throughput at a core count and
+// worker count. Results are bit-identical across worker counts, so the
+// workers axis isolates the parallel layer's scheduling cost vs speedup;
+// chips below the sharding threshold (128 cores) stay sequential.
+func benchStepParallel(b *testing.B, cores, workers int) {
+	b.Helper()
+	w, h, err := sim.GridFor(cores)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := manycore.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	cfg.Workers = workers
+	sources := make([]workload.Source, cores)
+	base := rng.New(3)
+	for i := range sources {
+		p, err := workload.NewProcess(workload.MustPreset("ferret"), base.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sources[i] = p
+	}
+	chip, err := manycore.New(cfg, sources, rng.New(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Step(1e-3)
+	}
+}
+
+func BenchmarkStepParallel64(b *testing.B)   { benchStepParallel(b, 64, 0) }
+func BenchmarkStepParallel256(b *testing.B)  { benchStepParallel(b, 256, 0) }
+func BenchmarkStepParallel1024(b *testing.B) { benchStepParallel(b, 1024, 0) }
+
+func BenchmarkStepSequential256(b *testing.B)  { benchStepParallel(b, 256, 1) }
+func BenchmarkStepSequential1024(b *testing.B) { benchStepParallel(b, 1024, 1) }
+
+// BenchmarkSweepParallel measures the experiment fan-out layer: the F7
+// budget sweep's independent runs dispatched across all CPUs vs one.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiments.Default()
+	cfg.Quick = true
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		name := "sequential"
+		if workers == 0 {
+			name = "allCPUs"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cfg
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.F7BudgetSweep(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEnd runs a complete short capped simulation with OD-RL —
 // the cost of one experiment data point.
 func BenchmarkEndToEnd(b *testing.B) {

@@ -31,6 +31,8 @@ func main() {
 		cores       = flag.Int("cores", 0, "override platform core count")
 		budget      = flag.Float64("budget", 0, "override chip budget (W)")
 		seed        = flag.Uint64("seed", 0, "override random seed")
+		workers     = flag.Int("j", 0, "worker goroutines for run fan-out and chip sharding (0 = one per CPU, 1 = sequential); results are identical for any value")
+		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
 		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
 		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
@@ -38,6 +40,31 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address for live profiling")
 	)
 	flag.Parse()
+
+	if *benchPar != "" {
+		rep, err := experiments.BenchPar(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchPar)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		werr := rep.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cases {
+			fmt.Printf("%-32s workers=%d  seq %.2fs  par %.2fs  speedup %.2fx\n",
+				c.Name, c.Workers, c.SequentialS, c.ParallelS, c.Speedup)
+		}
+		fmt.Printf("report written to %s (%d CPUs)\n", *benchPar, rep.HostCPUs)
+		return
+	}
 
 	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
 	if err != nil {
@@ -58,6 +85,7 @@ func main() {
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick
+	cfg.Workers = *workers
 	if *cores > 0 {
 		cfg.Cores = *cores
 	}

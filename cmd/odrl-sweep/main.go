@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		warmup      = flag.Float64("warmup", 2, "warmup seconds")
 		measure     = flag.Float64("measure", 4, "measurement seconds")
 		seed        = flag.Uint64("seed", 1, "seed (fixed unless swept)")
+		workers     = flag.Int("j", 0, "worker goroutines fanning sweep points out and sharding large chips (0 = one per CPU, 1 = sequential); rows are identical for any value")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file")
 		traceEvery  = flag.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
@@ -44,13 +46,19 @@ func main() {
 	}
 	defer ocli.Close()
 
-	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s,ctrl_local_s,ctrl_global_s")
-	for _, raw := range strings.Split(*values, ",") {
-		raw = strings.TrimSpace(raw)
+	points := strings.Split(*values, ",")
+	for i, raw := range points {
+		points[i] = strings.TrimSpace(raw)
+	}
+
+	// Sweep points are independent runs: fan them out across -j workers,
+	// then print rows in sweep order from index-addressed results so the
+	// CSV is identical for any worker count.
+	rows, err := par.MapErr(*workers, len(points), func(i int) (string, error) {
+		raw := points[i]
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", raw, err)
-			os.Exit(1)
+			return "", fmt.Errorf("bad value %q: %v", raw, err)
 		}
 
 		opts := sim.DefaultOptions()
@@ -60,6 +68,7 @@ func main() {
 		opts.WarmupS = *warmup
 		opts.MeasureS = *measure
 		opts.Seed = *seed
+		opts.Workers = *workers
 		opts.Observer = ocli.Observer()
 		switch *param {
 		case "budget":
@@ -71,26 +80,32 @@ func main() {
 		case "seed":
 			opts.Seed = uint64(v)
 		default:
-			fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
-			os.Exit(1)
+			return "", fmt.Errorf("unknown param %q", *param)
 		}
 
 		env := sim.DefaultEnv(opts.Cores)
 		env.Seed = opts.Seed
+		env.Workers = *workers
 		c, err := sim.NewController(*controller, env)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-			os.Exit(1)
+			return "", err
 		}
 		res, err := sim.Run(opts, c)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-			os.Exit(1)
+			return "", err
 		}
 		s := res.Summary
-		fmt.Printf("%s,%s,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+		return fmt.Sprintf("%s,%s,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g",
 			*param, raw, s.Controller, s.BIPS(), s.MeanW, s.PeakW,
 			s.OverJ, s.OverTimeFrac(), s.EnergyEff(), s.CtrlTimeS,
-			s.CtrlLocalTimeS, s.CtrlGlobalTimeS)
+			s.CtrlLocalTimeS, s.CtrlGlobalTimeS), nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s,ctrl_local_s,ctrl_global_s")
+	for _, row := range rows {
+		fmt.Println(row)
 	}
 }

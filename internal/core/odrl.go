@@ -28,11 +28,17 @@ import (
 	"repro/internal/manycore"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/rl"
 	"repro/internal/rng"
 	"repro/internal/vf"
 )
+
+// parallelMinCores is the domain count below which the local phase always
+// runs sequentially: one tabular agent update is a few table lookups, so
+// goroutine dispatch only pays for itself on large chips.
+const parallelMinCores = 128
 
 // Span indices into the controller's phase timer; the names are the
 // canonical obs phase constants so harness code can match on them.
@@ -91,6 +97,14 @@ type Config struct {
 	// Fast work/wait oscillation (the F14 barrier workload) otherwise
 	// makes budgets chase a regime that has already flipped.
 	ReallocEMA float64
+	// Workers bounds the goroutines sharding the fine-grain local phase
+	// across per-core agents: 0 uses one worker per CPU, 1 forces
+	// sequential updates. Each agent owns its state and exploration
+	// stream, so parallel updates are bit-identical to sequential; the
+	// global reallocation pass always stays sequential, mirroring the
+	// paper's local/global split. Sharding engages only for chips of at
+	// least 128 control domains.
+	Workers int
 	// FunctionApprox replaces the tabular per-core agents with tile-coded
 	// linear SARSA(λ) over the continuous state ⟨headroom,
 	// memory-boundedness, level⟩ — no discretisation cliffs, smooth
@@ -223,6 +237,9 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 	}
 	if cfg.BudgetFloorFrac < 0 || cfg.BudgetFloorFrac >= 1 {
 		return nil, fmt.Errorf("core: BudgetFloorFrac must be in [0,1), got %g", cfg.BudgetFloorFrac)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
 	}
 
 	codec := rl.MustCodec(cfg.HeadroomBuckets, cfg.MemBuckets, table.Levels())
@@ -392,24 +409,29 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 		c.lastBudget = budgetW
 	}
 
+	// Fine-grain local phase: every agent update touches only its own
+	// Q-table/weights, exploration stream and out[i] slot, so the loop
+	// shards across workers with bit-identical results (claim C4: this
+	// layer is embarrassingly parallel; only reallocation is global). The
+	// phase span records the wall-clock of the whole sharded section.
 	localStart := time.Now()
-	for i := 0; i < n; i++ {
-		ct := &tel.Cores[i]
-		if c.linAgents != nil {
-			x := c.contStateOf(ct, c.budgets[i])
-			if !c.started {
-				out[i] = c.linAgents[i].Begin(x)
-				continue
+	if workers := c.localWorkers(n); workers > 1 {
+		par.ForEachChunk(workers, n, func(lo, hi int) {
+			var x []float64
+			if c.linAgents != nil {
+				x = make([]float64, 3) // per-chunk FA state scratch
 			}
-			out[i] = c.linAgents[i].Step(c.rewardOf(ct, c.budgets[i]), x)
-			continue
+			for i := lo; i < hi; i++ {
+				out[i] = c.decideCore(i, tel, x)
+			}
+		})
+	} else {
+		if c.linAgents != nil && c.xScratch == nil {
+			c.xScratch = make([]float64, 3)
 		}
-		state := c.stateOf(ct, c.budgets[i])
-		if !c.started {
-			out[i] = c.agents[i].Begin(state)
-			continue
+		for i := 0; i < n; i++ {
+			out[i] = c.decideCore(i, tel, c.xScratch)
 		}
-		out[i] = c.agents[i].Step(c.rewardOf(ct, c.budgets[i]), state)
 	}
 	c.phases.Observe(spanLocal, time.Since(localStart))
 	c.started = true
@@ -449,21 +471,46 @@ func (c *Controller) reallocPower(tel *manycore.Telemetry, i int) float64 {
 	return tel.Cores[i].PowerW
 }
 
-// contStateOf builds the continuous state vector for FA mode. The scratch
-// buffer is reused; LinearAgent copies what it needs.
-func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64) []float64 {
-	if c.xScratch == nil {
-		c.xScratch = make([]float64, 3)
+// localWorkers returns the goroutine count for the fine-grain phase.
+func (c *Controller) localWorkers(n int) int {
+	if n < parallelMinCores || c.cfg.Workers == 1 {
+		return 1
 	}
+	return par.Workers(c.cfg.Workers, n)
+}
+
+// decideCore runs one core's fine-grain agent update and returns its next
+// level. x is the FA-mode continuous-state scratch buffer (one per calling
+// goroutine; unused in tabular mode). It touches only core-i state, which
+// is what licenses sharding the caller's loop.
+func (c *Controller) decideCore(i int, tel *manycore.Telemetry, x []float64) int {
+	ct := &tel.Cores[i]
+	if c.linAgents != nil {
+		s := c.contStateOf(ct, c.budgets[i], x)
+		if !c.started {
+			return c.linAgents[i].Begin(s)
+		}
+		return c.linAgents[i].Step(c.rewardOf(ct, c.budgets[i]), s)
+	}
+	state := c.stateOf(ct, c.budgets[i])
+	if !c.started {
+		return c.agents[i].Begin(state)
+	}
+	return c.agents[i].Step(c.rewardOf(ct, c.budgets[i]), state)
+}
+
+// contStateOf builds the continuous state vector for FA mode into x (len
+// 3); LinearAgent copies what it needs.
+func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64, x []float64) []float64 {
 	headroom := 0.0
 	if budget > 0 {
 		headroom = (budget - ct.PowerW) / budget
 	}
 	levels := float64(c.table.Levels() - 1)
-	c.xScratch[0] = headroom
-	c.xScratch[1] = ct.MemBoundedness
-	c.xScratch[2] = float64(ct.Level) / levels
-	return c.xScratch
+	x[0] = headroom
+	x[1] = ct.MemBoundedness
+	x[2] = float64(ct.Level) / levels
+	return x
 }
 
 // stateOf discretises one core's observation.

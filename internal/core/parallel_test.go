@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/manycore"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/vf"
+)
+
+// synthTel fabricates one epoch of telemetry for n cores, varied by epoch
+// so agents visit many states.
+func synthTel(n int, epoch int, r *rng.RNG) *manycore.Telemetry {
+	table := vf.Default()
+	pp := power.Default()
+	tel := &manycore.Telemetry{EpochS: 1e-3, Cores: make([]manycore.CoreTelemetry, n)}
+	total := pp.UncoreW
+	for i := range tel.Cores {
+		lvl := (i + epoch) % table.Levels()
+		op := table.Point(lvl)
+		mb := r.Float64()
+		pw := pp.CoreW(op.VoltageV, op.FreqHz, 0.3+0.6*r.Float64(), 330)
+		tel.Cores[i] = manycore.CoreTelemetry{
+			Level: lvl, FreqHz: op.FreqHz, VoltageV: op.VoltageV,
+			IPS: op.FreqHz / (0.8 + 2*mb), PowerW: pw,
+			MemBoundedness: mb, TempK: 330,
+		}
+		total += pw
+	}
+	tel.TruePowerW, tel.ChipPowerW = total, total
+	return tel
+}
+
+// decideSequence drives a fresh controller for several epochs and returns
+// every decision it made.
+func decideSequence(t *testing.T, cfg Config, n, epochs int) [][]int {
+	t.Helper()
+	c, err := New(n, vf.Default(), power.Default(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Telemetry is regenerated identically for both controllers: one RNG
+	// per sequence, same seed.
+	r := rng.New(123)
+	budget := 1.2*float64(n) + power.Default().UncoreW
+	var all [][]int
+	for e := 0; e < epochs; e++ {
+		tel := synthTel(n, e, r)
+		out := make([]int, n)
+		c.Decide(tel, budget, out)
+		all = append(all, out)
+	}
+	return all
+}
+
+// TestDecideParallelDeterminism pins the OD-RL local phase's determinism:
+// with 256 control domains the sharded agent loop must emit exactly the
+// decisions the sequential loop does, in tabular and FA mode.
+func TestDecideParallelDeterminism(t *testing.T) {
+	const n, epochs = 256, 40
+	for _, fa := range []bool{false, true} {
+		seqCfg := DefaultConfig()
+		seqCfg.Workers = 1
+		seqCfg.FunctionApprox = fa
+		parCfg := DefaultConfig()
+		parCfg.Workers = 8
+		parCfg.FunctionApprox = fa
+		if fa {
+			seqCfg.TraceLambda = 0.7
+			parCfg.TraceLambda = 0.7
+		}
+
+		seq := decideSequence(t, seqCfg, n, epochs)
+		parl := decideSequence(t, parCfg, n, epochs)
+		for e := range seq {
+			for i := range seq[e] {
+				if seq[e][i] != parl[e][i] {
+					t.Fatalf("fa=%v epoch %d core %d: sequential chose %d, parallel %d",
+						fa, e, i, seq[e][i], parl[e][i])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -2
+	if _, err := New(64, vf.Default(), power.Default(), cfg); err == nil {
+		t.Fatal("expected error for negative Workers")
+	}
+}
+
+func TestLocalWorkersThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 8
+	c, err := New(64, vf.Default(), power.Default(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.localWorkers(64); got != 1 {
+		t.Fatalf("64 domains report %d local workers, want 1", got)
+	}
+	c2, err := New(256, vf.Default(), power.Default(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.localWorkers(256); got < 2 {
+		t.Fatalf("256 domains report %d local workers, want >= 2", got)
+	}
+}

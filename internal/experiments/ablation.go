@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/par"
 	"repro/internal/rl"
 	"repro/internal/sim"
 	"repro/internal/vf"
@@ -22,39 +23,33 @@ func F9Ablation(cfg Config) (Table, error) {
 		Header: []string{"variant", "BIPS", "mean(W)", "over(J)", "over-time(%)", "BIPS/W"},
 	}
 
-	run := func(label string, build func() (ctrl.Controller, error)) error {
-		c, err := build()
-		if err != nil {
-			return err
+	// odrlVariant builds an OD-RL controller from a tweaked core config.
+	odrlVariant := func(tweak func(*core.Config)) func() (ctrl.Controller, error) {
+		return func() (ctrl.Controller, error) {
+			c := core.DefaultConfig()
+			c.Seed = cfg.Seed
+			c.Workers = cfg.Workers
+			tweak(&c)
+			return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
 		}
-		opts := sim.DefaultOptions()
-		opts.Cores = cfg.Cores
-		opts.BudgetW = cfg.BudgetW
-		opts.WarmupS = cfg.WarmupS
-		opts.MeasureS = cfg.MeasureS
-		opts.Seed = cfg.Seed
-		res, err := sim.Run(opts, c)
-		if err != nil {
-			return err
-		}
-		s := res.Summary
-		t.Rows = append(t.Rows, []string{
-			label, cell(s.BIPS()), cell(s.MeanW), cell(s.OverJ),
-			cell(100 * s.OverTimeFrac()), cell(s.EnergyEff()),
-		})
-		return nil
 	}
+
+	// Collect every variant into an ordered list first, then fan the
+	// independent runs out across cfg.Workers; rows are appended in variant
+	// order from index-addressed results, so the table is identical for any
+	// worker count.
+	type variant struct {
+		label string
+		build func() (ctrl.Controller, error)
+	}
+	var variants []variant
 
 	// Baseline and no-reallocation variants via the factory.
 	for _, name := range []string{"od-rl", "od-rl-norealloc"} {
 		name := name
-		if err := run(name, func() (ctrl.Controller, error) {
-			env := sim.DefaultEnv(cfg.Cores)
-			env.Seed = cfg.Seed
-			return sim.NewController(name, env)
-		}); err != nil {
-			return Table{}, err
-		}
+		variants = append(variants, variant{name, func() (ctrl.Controller, error) {
+			return sim.NewController(name, cfg.env(cfg.Cores))
+		}})
 	}
 
 	// λ sweep, including λ=0 (no overshoot penalty at all).
@@ -64,46 +59,53 @@ func F9Ablation(cfg Config) (Table, error) {
 	}
 	for _, lambda := range lambdas {
 		lambda := lambda
-		if err := run(fmt.Sprintf("od-rl λ=%g", lambda), func() (ctrl.Controller, error) {
-			c := core.DefaultConfig()
-			c.Lambda = lambda
-			c.Seed = cfg.Seed
-			return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
-		}); err != nil {
-			return Table{}, err
-		}
+		variants = append(variants, variant{
+			fmt.Sprintf("od-rl λ=%g", lambda),
+			odrlVariant(func(c *core.Config) { c.Lambda = lambda }),
+		})
 	}
 
 	// SARSA variant: on-policy learning of the same controller.
-	if err := run("od-rl sarsa", func() (ctrl.Controller, error) {
-		c := core.DefaultConfig()
-		c.Algorithm = rl.SARSA
-		c.Seed = cfg.Seed
-		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
-	}); err != nil {
-		return Table{}, err
-	}
+	variants = append(variants, variant{
+		"od-rl sarsa",
+		odrlVariant(func(c *core.Config) { c.Algorithm = rl.SARSA }),
+	})
 
 	// EMA-smoothed reallocation (the F14-motivated fix).
-	if err := run("od-rl ema-realloc", func() (ctrl.Controller, error) {
-		c := core.DefaultConfig()
-		c.ReallocEMA = 0.05
-		c.Seed = cfg.Seed
-		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
-	}); err != nil {
-		return Table{}, err
-	}
+	variants = append(variants, variant{
+		"od-rl ema-realloc",
+		odrlVariant(func(c *core.Config) { c.ReallocEMA = 0.05 }),
+	})
 
 	// Tile-coded linear function approximation instead of tables.
-	if err := run("od-rl tile-coding", func() (ctrl.Controller, error) {
-		c := core.DefaultConfig()
-		c.FunctionApprox = true
-		c.TraceLambda = 0.7
-		c.Seed = cfg.Seed
-		return core.New(cfg.Cores, vf.Default(), sim.DefaultEnv(cfg.Cores).Power, c)
-	}); err != nil {
+	variants = append(variants, variant{
+		"od-rl tile-coding",
+		odrlVariant(func(c *core.Config) {
+			c.FunctionApprox = true
+			c.TraceLambda = 0.7
+		}),
+	})
+
+	rows, err := par.MapErr(cfg.Workers, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
+		c, err := v.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(cfg.runOpts(), c)
+		if err != nil {
+			return nil, err
+		}
+		s := res.Summary
+		return []string{
+			v.label, cell(s.BIPS()), cell(s.MeanW), cell(s.OverJ),
+			cell(100 * s.OverTimeFrac()), cell(s.EnergyEff()),
+		}, nil
+	})
+	if err != nil {
 		return Table{}, err
 	}
+	t.Rows = rows
 
 	t.Notes = append(t.Notes,
 		"norealloc freezes equal per-core budgets; realloc should win BIPS on imbalanced mixes",

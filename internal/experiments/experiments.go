@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Config scopes an experiment run.
@@ -31,6 +33,13 @@ type Config struct {
 	// Quick shrinks run lengths for use inside unit tests and smoke runs;
 	// numbers remain directionally meaningful but noisier.
 	Quick bool
+	// Workers bounds the goroutines used to fan independent runs out
+	// concurrently (benchmark × controller sweeps, budget points, core
+	// counts, seeds) and to shard large chips' per-core loops: 0 uses one
+	// worker per CPU, 1 forces fully sequential execution. Every table is
+	// bit-identical for any worker count — runs derive their randomness
+	// from (Seed, run identity), never from scheduling order.
+	Workers int
 }
 
 // Default returns the evaluation configuration used in EXPERIMENTS.md.
@@ -86,6 +95,30 @@ func (c Config) normalized() Config {
 		}
 	}
 	return c
+}
+
+// runOpts returns the harness options every experiment run starts from:
+// the shared axes (platform size, budget, windows, seed, workers) filled
+// from the experiment config. Individual experiments override fields from
+// there.
+func (c Config) runOpts() sim.Options {
+	opts := sim.DefaultOptions()
+	opts.Cores = c.Cores
+	opts.BudgetW = c.BudgetW
+	opts.WarmupS = c.WarmupS
+	opts.MeasureS = c.MeasureS
+	opts.Seed = c.Seed
+	opts.Workers = c.Workers
+	return opts
+}
+
+// env returns the controller environment matching runOpts for the given
+// core count.
+func (c Config) env(cores int) sim.Env {
+	env := sim.DefaultEnv(cores)
+	env.Seed = c.Seed
+	env.Workers = c.Workers
+	return env
 }
 
 // Table is one rendered experiment result.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -13,6 +14,7 @@ import (
 // 90 W cap that drops to 60 W mid-run (a datacentre cap event). The table
 // reports, per controller, the behaviour around the step: peak power after
 // the drop, time to settle back under the cap, and the overshoot integral.
+// Controller runs are independent and fan out across cfg.Workers.
 func F1PowerTrace(cfg Config) (Table, error) {
 	cfg = cfg.normalized()
 	dropAt := cfg.WarmupS + cfg.MeasureS/3
@@ -28,24 +30,19 @@ func F1PowerTrace(cfg Config) (Table, error) {
 		},
 	}
 
-	for _, name := range cfg.Controllers {
-		opts := sim.DefaultOptions()
-		opts.Cores = cfg.Cores
+	rows, err := par.MapErr(cfg.Workers, len(cfg.Controllers), func(ci int) ([]string, error) {
+		name := cfg.Controllers[ci]
+		opts := cfg.runOpts()
 		opts.BudgetW = 90
 		opts.BudgetSchedule = []sim.BudgetStep{{AtS: dropAt, BudgetW: 60}}
-		opts.WarmupS = cfg.WarmupS
-		opts.MeasureS = cfg.MeasureS
-		opts.Seed = cfg.Seed
 		opts.TracePoints = 2000
-		env := sim.DefaultEnv(cfg.Cores)
-		env.Seed = cfg.Seed
-		c, err := sim.NewController(name, env)
+		c, err := sim.NewController(name, cfg.env(cfg.Cores))
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		res, err := sim.Run(opts, c)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 
 		var meanPre, peakPost, settleS float64
@@ -71,16 +68,22 @@ func F1PowerTrace(cfg Config) (Table, error) {
 		if !settled {
 			settleS = -1 // never settled within the window
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name, cell(meanPre), cell(peakPost), cell(settleS * 1e3),
 			cell(res.Summary.OverJ), cell(100 * res.Summary.OverTimeFrac()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // sweepKey identifies one benchmark sweep for the cross-experiment cache:
-// F2, F3 and F4 all consume the same per-benchmark runs.
+// F2, F3 and F4 all consume the same per-benchmark runs. Workers is
+// deliberately not part of the key — results are bit-identical for any
+// worker count, so callers at different -j share one sweep.
 type sweepKey struct {
 	cores    int
 	budgetW  float64
@@ -89,49 +92,84 @@ type sweepKey struct {
 	measureS float64
 }
 
+// sweepEntry is one memoised sweep. The per-entry Once guarantees exactly
+// one goroutine computes the sweep while concurrent F2–F4 callers with the
+// same key block and then share the result, instead of duplicating the
+// runs or racing on the cache map.
+type sweepEntry struct {
+	once sync.Once
+	val  map[string]map[string]metrics.Summary
+	err  error
+}
+
 var (
 	sweepMu    sync.Mutex
-	sweepCache = map[sweepKey]map[string]map[string]metrics.Summary{}
+	sweepCache = map[sweepKey]*sweepEntry{}
 )
+
+// resetSweepCache drops all memoised sweeps; determinism tests use it to
+// force recomputation under different worker counts.
+func resetSweepCache() {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	sweepCache = map[sweepKey]*sweepEntry{}
+}
 
 // benchmarkSweep runs every controller on every benchmark and returns
 // summaries[benchmark][controller], memoised so F2–F4 share one sweep.
 func benchmarkSweep(cfg Config) (map[string]map[string]metrics.Summary, error) {
 	key := sweepKey{cfg.Cores, cfg.BudgetW, cfg.Seed, cfg.Quick, cfg.MeasureS}
 	sweepMu.Lock()
-	if got, ok := sweepCache[key]; ok {
-		sweepMu.Unlock()
-		return got, nil
+	e := sweepCache[key]
+	if e == nil {
+		e = &sweepEntry{}
+		sweepCache[key] = e
 	}
 	sweepMu.Unlock()
+	e.once.Do(func() { e.val, e.err = runBenchmarkSweep(cfg) })
+	return e.val, e.err
+}
 
-	out := make(map[string]map[string]metrics.Summary, len(cfg.Benchmarks))
+// runBenchmarkSweep fans the (benchmark × controller) grid out across
+// cfg.Workers goroutines. Each run derives its state purely from
+// (cfg.Seed, benchmark, controller), and results land in index-addressed
+// slots, so the assembled table is identical for any worker count.
+func runBenchmarkSweep(cfg Config) (map[string]map[string]metrics.Summary, error) {
+	type job struct{ bench, name string }
+	jobs := make([]job, 0, len(cfg.Benchmarks)*len(cfg.Controllers))
 	for _, bench := range cfg.Benchmarks {
-		out[bench] = make(map[string]metrics.Summary, len(cfg.Controllers))
 		for _, name := range cfg.Controllers {
-			opts := sim.DefaultOptions()
-			opts.Cores = cfg.Cores
-			opts.Workload = bench
-			opts.BudgetW = cfg.BudgetW
-			opts.WarmupS = cfg.WarmupS
-			opts.MeasureS = cfg.MeasureS
-			opts.Seed = cfg.Seed
-			env := sim.DefaultEnv(cfg.Cores)
-			env.Seed = cfg.Seed
-			c, err := sim.NewController(name, env)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(opts, c)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", name, bench, err)
-			}
-			out[bench][name] = res.Summary
+			jobs = append(jobs, job{bench, name})
 		}
 	}
-	sweepMu.Lock()
-	sweepCache[key] = out
-	sweepMu.Unlock()
+
+	summaries, err := par.MapErr(cfg.Workers, len(jobs), func(i int) (metrics.Summary, error) {
+		j := jobs[i]
+		opts := cfg.runOpts()
+		opts.Workload = j.bench
+		c, err := sim.NewController(j.name, cfg.env(cfg.Cores))
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			return metrics.Summary{}, fmt.Errorf("experiments: %s on %s: %w", j.name, j.bench, err)
+		}
+		return res.Summary, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]map[string]metrics.Summary, len(cfg.Benchmarks))
+	for i, j := range jobs {
+		m := out[j.bench]
+		if m == nil {
+			m = make(map[string]metrics.Summary, len(cfg.Controllers))
+			out[j.bench] = m
+		}
+		m[j.name] = summaries[i]
+	}
 	return out, nil
 }
 

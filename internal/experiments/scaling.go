@@ -62,6 +62,13 @@ func timeDecide(c ctrl.Controller, tel *manycore.Telemetry, budgetW float64) tim
 // alongside. OD-RL's fine layer is O(n) table lookups; the MaxBIPS knapsack
 // grows superlinearly because its power-discretisation grid widens with the
 // chip budget.
+//
+// F5 deliberately ignores cfg.Workers and runs fully sequentially: it
+// measures per-Decide wall-clock latency, and concurrent runs sharing the
+// host's cores would contend for CPU and corrupt the very timings the table
+// reports. Controllers are also built with Workers=1 so the measured OD-RL
+// latency reflects the single-threaded decision path the paper's claim is
+// about, not the host's parallelism.
 func F5ControllerScaling(cfg Config) (Table, error) {
 	cfg = cfg.normalized()
 	coreCounts := []int{16, 64, 256, 1024}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -32,31 +34,40 @@ func F15Seeds(cfg Config) (Table, error) {
 		},
 	}
 
-	for _, name := range names {
+	// Every (controller, seed) pair is an independent realisation; fan the
+	// full grid out across cfg.Workers and reduce per controller afterwards
+	// in seed order, so the CI arithmetic sees the same float sequence for
+	// any worker count.
+	summaries, err := par.MapErr(cfg.Workers, len(names)*nSeeds, func(i int) (metrics.Summary, error) {
+		name, s := names[i/nSeeds], i%nSeeds
+		opts := cfg.runOpts()
+		opts.Seed = cfg.Seed + uint64(s)*1000
+		env, err := sim.EnvFor(opts)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		env.Seed = opts.Seed
+		env.Workers = cfg.Workers
+		c, err := sim.NewController(name, env)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return res.Summary, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ni, name := range names {
 		var bips, over, eff []float64
 		for s := 0; s < nSeeds; s++ {
-			opts := sim.DefaultOptions()
-			opts.Cores = cfg.Cores
-			opts.BudgetW = cfg.BudgetW
-			opts.WarmupS = cfg.WarmupS
-			opts.MeasureS = cfg.MeasureS
-			opts.Seed = cfg.Seed + uint64(s)*1000
-			env, err := sim.EnvFor(opts)
-			if err != nil {
-				return Table{}, err
-			}
-			env.Seed = opts.Seed
-			c, err := sim.NewController(name, env)
-			if err != nil {
-				return Table{}, err
-			}
-			res, err := sim.Run(opts, c)
-			if err != nil {
-				return Table{}, err
-			}
-			bips = append(bips, res.Summary.BIPS())
-			over = append(over, res.Summary.OverJ)
-			eff = append(eff, res.Summary.EnergyEff())
+			sum := summaries[ni*nSeeds+s]
+			bips = append(bips, sum.BIPS())
+			over = append(over, sum.OverJ)
+			eff = append(eff, sum.EnergyEff())
 		}
 		t.Rows = append(t.Rows, []string{
 			name,

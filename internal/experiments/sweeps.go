@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/ctrl"
+	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -24,6 +26,7 @@ func windowedRun(cfg Config, c ctrl.Controller, totalS, windowS float64) ([]wind
 	opts.Cores = cfg.Cores
 	opts.BudgetW = cfg.BudgetW
 	opts.Seed = cfg.Seed
+	opts.Workers = cfg.Workers
 	chip, _, err := sim.NewChip(opts)
 	if err != nil {
 		return nil, err
@@ -122,26 +125,31 @@ func F7BudgetSweep(cfg Config) (Table, error) {
 		t.Header = append(t.Header, n+" BIPS", n+" over(J)")
 	}
 
-	for _, b := range budgets {
+	// The (budget × controller) grid is a set of independent runs; fan it
+	// out across cfg.Workers and assemble rows from index-addressed slots.
+	nn := len(names)
+	summaries, err := par.MapErr(cfg.Workers, len(budgets)*nn, func(i int) (metrics.Summary, error) {
+		b, name := budgets[i/nn], names[i%nn]
+		opts := cfg.runOpts()
+		opts.BudgetW = b
+		c, err := sim.NewController(name, cfg.env(cfg.Cores))
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return res.Summary, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for bi, b := range budgets {
 		row := []string{cell(b)}
-		for _, name := range names {
-			opts := sim.DefaultOptions()
-			opts.Cores = cfg.Cores
-			opts.BudgetW = b
-			opts.WarmupS = cfg.WarmupS
-			opts.MeasureS = cfg.MeasureS
-			opts.Seed = cfg.Seed
-			env := sim.DefaultEnv(cfg.Cores)
-			env.Seed = cfg.Seed
-			c, err := sim.NewController(name, env)
-			if err != nil {
-				return Table{}, err
-			}
-			res, err := sim.Run(opts, c)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, cell(res.Summary.BIPS()), cell(res.Summary.OverJ))
+		for ni := range names {
+			s := summaries[bi*nn+ni]
+			row = append(row, cell(s.BIPS()), cell(s.OverJ))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -172,27 +180,33 @@ func F8CoreScaling(cfg Config) (Table, error) {
 		t.Header = append(t.Header, n+" BIPS", n+" BIPS/core")
 	}
 
-	for _, n := range coreCounts {
+	// Fan the (core count × controller) grid out across cfg.Workers; each
+	// run also shards its own per-core loops once the chip is large enough.
+	nn := len(names)
+	summaries, err := par.MapErr(cfg.Workers, len(coreCounts)*nn, func(i int) (metrics.Summary, error) {
+		n, name := coreCounts[i/nn], names[i%nn]
+		opts := cfg.runOpts()
+		opts.Cores = n
+		opts.BudgetW = perCoreW*float64(n) + power.Default().UncoreW
+		c, err := sim.NewController(name, cfg.env(n))
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		res, err := sim.Run(opts, c)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return res.Summary, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci, n := range coreCounts {
 		budget := perCoreW*float64(n) + power.Default().UncoreW
 		row := []string{fmt.Sprintf("%d", n), cell(budget)}
-		for _, name := range names {
-			opts := sim.DefaultOptions()
-			opts.Cores = n
-			opts.BudgetW = budget
-			opts.WarmupS = cfg.WarmupS
-			opts.MeasureS = cfg.MeasureS
-			opts.Seed = cfg.Seed
-			env := sim.DefaultEnv(n)
-			env.Seed = cfg.Seed
-			c, err := sim.NewController(name, env)
-			if err != nil {
-				return Table{}, err
-			}
-			res, err := sim.Run(opts, c)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, cell(res.Summary.BIPS()), cell(res.Summary.BIPS()/float64(n)))
+		for ni := range names {
+			s := summaries[ci*nn+ni]
+			row = append(row, cell(s.BIPS()), cell(s.BIPS()/float64(n)))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -20,6 +20,7 @@ package manycore
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/rng"
 	"repro/internal/thermal"
@@ -27,6 +28,11 @@ import (
 	"repro/internal/vf"
 	"repro/internal/workload"
 )
+
+// parallelMinCores is the core count below which Step always runs
+// sequentially: the per-core epoch body costs a few hundred nanoseconds,
+// so goroutine dispatch only pays for itself on large chips.
+const parallelMinCores = 128
 
 // Config describes one chip.
 type Config struct {
@@ -68,6 +74,13 @@ type Config struct {
 	// with variation, telemetry is their only window.
 	CoreTypes []CoreType
 	TypeOf    []int
+	// Workers bounds the goroutines sharding Step's per-core loop:
+	// 0 uses one worker per CPU, 1 forces sequential stepping. Parallel
+	// stepping is bit-identical to sequential (sensor-noise draws are
+	// pre-split in core order before dispatch) and only engages for chips
+	// of at least parallelMinCores whose workload sources are independent
+	// (no shared-state WorkSource lanes).
+	Workers int
 }
 
 // CoreType is one microarchitecture in a heterogeneous chip. Multipliers
@@ -136,6 +149,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("manycore: negative transition penalty %g", c.TransitionPenaltyS)
 	case c.InitialLevel < 0 || c.InitialLevel >= c.VF.Levels():
 		return fmt.Errorf("manycore: initial level %d out of range", c.InitialLevel)
+	case c.Workers < 0:
+		return fmt.Errorf("manycore: negative worker count %d", c.Workers)
 	}
 	if err := c.Power.Validate(); err != nil {
 		return err
@@ -240,9 +255,15 @@ type Chip struct {
 	instrTotal  float64
 	instrByCore []float64
 
+	// indepSources records that no source shares state with another (no
+	// WorkSource lanes), which is what licenses parallel stepping.
+	indepSources bool
+
 	// scratch buffers reused across epochs
 	corePowerW []float64
 	temps      []float64
+	instrDelta []float64
+	noiseBuf   []float64 // pre-drawn sensor noise, parallel path only
 }
 
 // New builds a chip running the given per-core workload sources. The number
@@ -273,6 +294,18 @@ func New(cfg Config, sources []workload.Source, r *rng.RNG) (*Chip, error) {
 		instrByCore:  make([]float64, n),
 		corePowerW:   make([]float64, n),
 		temps:        make([]float64, n),
+		instrDelta:   make([]float64, n),
+		indepSources: true,
+	}
+	for _, s := range sources {
+		// WorkSource lanes (barrier apps, job systems) share application
+		// state across cores, so advancing them concurrently would race
+		// and reorder barrier releases; such chips always step
+		// sequentially.
+		if _, shared := s.(workload.WorkSource); shared {
+			c.indepSources = false
+			break
+		}
 	}
 	for i := range c.levels {
 		c.levels[i] = cfg.InitialLevel
@@ -374,9 +407,117 @@ func (c *Chip) observed(v float64) float64 {
 	return o
 }
 
+// stepWorkers returns the goroutine count for this chip's per-core epoch
+// loop: 1 (sequential) unless the chip is large enough to amortise
+// dispatch and every source is independent.
+func (c *Chip) stepWorkers() int {
+	if !c.indepSources || c.NumCores() < parallelMinCores || c.cfg.Workers == 1 {
+		return 1
+	}
+	return par.Workers(c.cfg.Workers, c.NumCores())
+}
+
+// stepCore advances core i by dt and writes only index-i state: its
+// telemetry slot, power/instruction scratch entries and its own workload
+// source. noise, when non-nil, holds the core's three pre-drawn
+// standard-normal sensor variates in draw order (IPS, power,
+// memory-boundedness); nil draws them inline from the shared chip stream,
+// which is only legal on the sequential path.
+func (c *Chip) stepCore(i int, dt float64, tel *Telemetry, noise []float64) {
+	observe := func(k int, v float64) float64 {
+		if c.cfg.SensorNoise == 0 {
+			return v
+		}
+		var z float64
+		if noise != nil {
+			z = noise[k]
+		} else {
+			z = c.noise.NormFloat64()
+		}
+		o := v * (1 + c.cfg.SensorNoise*z)
+		if o < 0 {
+			o = 0
+		}
+		return o
+	}
+
+	ph := c.sources[i].Phase()
+	op := c.cfg.VF.Point(c.levels[i])
+	temp := c.temps[i]
+
+	stall := 0.0
+	if c.transitioned[i] {
+		stall = c.cfg.TransitionPenaltyS
+		if stall > dt {
+			stall = dt
+		}
+		c.transitioned[i] = false
+	}
+	active := dt - stall
+
+	// Process variation scales this core's achievable frequency
+	// (critical-path spread) and its two power components.
+	leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
+	if v := c.cfg.Variation; v != nil {
+		leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
+	}
+	// Heterogeneous chips compose core-type multipliers on top:
+	// a big core retires more per cycle and burns more per switch.
+	if len(c.cfg.CoreTypes) > 0 {
+		ct := c.cfg.CoreTypes[c.cfg.TypeOf[i]]
+		ph.BaseCPI /= ct.IPCMult
+		dynMult *= ct.CeffMult
+		leakMult *= ct.LeakMult
+	}
+	freq := op.FreqHz * freqMult
+
+	ips := ph.IPSAt(freq)
+	instr := ips * active
+
+	// Power: full during the active window, leakage-only during the
+	// stall (clocks gated while the PLL relocks).
+	pDyn := c.cfg.Power.DynamicW(op.VoltageV, freq, ph.Activity) * dynMult
+	pLeak := c.cfg.Power.LeakageW(op.VoltageV, temp) * leakMult
+	pActive := pDyn + pLeak
+	pStall := pLeak
+	avgP := (pActive*active + pStall*stall) / dt
+	c.corePowerW[i] = avgP
+
+	// Work-coupled sources (barrier apps) progress by retired
+	// instructions, so a throttled core genuinely takes longer to
+	// reach its barrier.
+	var changed bool
+	if ws, ok := c.sources[i].(workload.WorkSource); ok {
+		changed = ws.AdvanceWork(dt, instr) > 0
+	} else {
+		changed = c.sources[i].Advance(dt) > 0
+	}
+
+	c.instrDelta[i] = instr
+
+	tel.Cores[i] = CoreTelemetry{
+		Level:          c.levels[i],
+		FreqHz:         freq,
+		VoltageV:       op.VoltageV,
+		IPS:            observe(0, instr/dt),
+		PowerW:         observe(1, avgP),
+		TempK:          temp,
+		MemBoundedness: clamp01(observe(2, ph.MemBoundednessAt(freq))),
+		Instructions:   instr,
+		PhaseChanged:   changed,
+	}
+}
+
 // Step advances the chip by dt seconds and returns the epoch telemetry.
 // Phase parameters are sampled at the start of the epoch, matching the
 // granularity at which real performance counters are read.
+//
+// On large chips with independent sources the per-core loop is sharded
+// across Config.Workers goroutines. The result is bit-identical to
+// sequential stepping: sensor-noise variates are pre-drawn from the chip
+// stream in core order before dispatch, every worker writes only
+// index-addressed slots, and the instruction totals are reduced in index
+// order afterwards — the same floating-point operations in the same order.
 func (c *Chip) Step(dt float64) Telemetry {
 	if dt <= 0 {
 		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))
@@ -385,73 +526,35 @@ func (c *Chip) Step(dt float64) Telemetry {
 	n := c.NumCores()
 	tel := Telemetry{EpochS: dt, Cores: make([]CoreTelemetry, n)}
 
-	for i := 0; i < n; i++ {
-		ph := c.sources[i].Phase()
-		op := c.cfg.VF.Point(c.levels[i])
-		temp := c.temps[i]
-
-		stall := 0.0
-		if c.transitioned[i] {
-			stall = c.cfg.TransitionPenaltyS
-			if stall > dt {
-				stall = dt
+	if workers := c.stepWorkers(); workers > 1 {
+		if c.cfg.SensorNoise != 0 {
+			if c.noiseBuf == nil {
+				c.noiseBuf = make([]float64, 3*n)
 			}
-			c.transitioned[i] = false
-		}
-		active := dt - stall
-
-		// Process variation scales this core's achievable frequency
-		// (critical-path spread) and its two power components.
-		leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
-		if v := c.cfg.Variation; v != nil {
-			leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
-		}
-		// Heterogeneous chips compose core-type multipliers on top:
-		// a big core retires more per cycle and burns more per switch.
-		if len(c.cfg.CoreTypes) > 0 {
-			ct := c.cfg.CoreTypes[c.cfg.TypeOf[i]]
-			ph.BaseCPI /= ct.IPCMult
-			dynMult *= ct.CeffMult
-			leakMult *= ct.LeakMult
-		}
-		freq := op.FreqHz * freqMult
-
-		ips := ph.IPSAt(freq)
-		instr := ips * active
-
-		// Power: full during the active window, leakage-only during the
-		// stall (clocks gated while the PLL relocks).
-		pDyn := c.cfg.Power.DynamicW(op.VoltageV, freq, ph.Activity) * dynMult
-		pLeak := c.cfg.Power.LeakageW(op.VoltageV, temp) * leakMult
-		pActive := pDyn + pLeak
-		pStall := pLeak
-		avgP := (pActive*active + pStall*stall) / dt
-		c.corePowerW[i] = avgP
-
-		// Work-coupled sources (barrier apps) progress by retired
-		// instructions, so a throttled core genuinely takes longer to
-		// reach its barrier.
-		var changed bool
-		if ws, ok := c.sources[i].(workload.WorkSource); ok {
-			changed = ws.AdvanceWork(dt, instr) > 0
+			for i := range c.noiseBuf {
+				c.noiseBuf[i] = c.noise.NormFloat64()
+			}
+			par.ForEachChunk(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c.stepCore(i, dt, &tel, c.noiseBuf[3*i:3*i+3])
+				}
+			})
 		} else {
-			changed = c.sources[i].Advance(dt) > 0
+			par.ForEachChunk(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c.stepCore(i, dt, &tel, nil)
+				}
+			})
 		}
-
-		c.instrByCore[i] += instr
-		c.instrTotal += instr
-
-		tel.Cores[i] = CoreTelemetry{
-			Level:          c.levels[i],
-			FreqHz:         freq,
-			VoltageV:       op.VoltageV,
-			IPS:            c.observed(instr / dt),
-			PowerW:         c.observed(avgP),
-			TempK:          temp,
-			MemBoundedness: clamp01(c.observed(ph.MemBoundednessAt(freq))),
-			Instructions:   instr,
-			PhaseChanged:   changed,
+	} else {
+		for i := 0; i < n; i++ {
+			c.stepCore(i, dt, &tel, nil)
 		}
+	}
+
+	for i := 0; i < n; i++ {
+		c.instrByCore[i] += c.instrDelta[i]
+		c.instrTotal += c.instrDelta[i]
 	}
 
 	truePower := c.cfg.Power.ChipW(c.corePowerW)

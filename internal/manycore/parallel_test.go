@@ -1,0 +1,135 @@
+package manycore
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/variation"
+	"repro/internal/workload"
+)
+
+// buildChip constructs a w×h chip with per-core Markov sources, sensor
+// noise and process variation — every feature the sharded step touches.
+func buildChip(t testing.TB, w, h, workers int) *Chip {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	cfg.Workers = workers
+	vmap, err := variation.Generate(w, h, variation.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Variation = vmap
+
+	n := w * h
+	base := rng.New(99)
+	sources := make([]workload.Source, n)
+	names := workload.PresetNames()
+	for i := range sources {
+		p, err := workload.NewProcess(workload.MustPreset(names[i%len(names)]), base.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = p
+	}
+	chip, err := New(cfg, sources, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+// TestStepParallelDeterminism is the Chip.Step half of the determinism
+// regression: a 256-core chip stepped with Workers=1 must produce telemetry
+// bit-identical to Workers=8, epoch by epoch, including under mid-run level
+// changes (transition stalls) and with sensor noise active.
+func TestStepParallelDeterminism(t *testing.T) {
+	const w, h, epochs = 16, 16, 60
+	seq := buildChip(t, w, h, 1)
+	parl := buildChip(t, w, h, 8)
+	if seq.stepWorkers() != 1 {
+		t.Fatalf("sequential chip reports %d workers", seq.stepWorkers())
+	}
+	if parl.stepWorkers() < 2 {
+		t.Fatalf("parallel chip did not engage sharding (workers=%d)", parl.stepWorkers())
+	}
+
+	n := w * h
+	for e := 0; e < epochs; e++ {
+		a := seq.Step(1e-3)
+		b := parl.Step(1e-3)
+		if a.TimeS != b.TimeS || a.ChipPowerW != b.ChipPowerW || a.TruePowerW != b.TruePowerW {
+			t.Fatalf("epoch %d: chip telemetry diverged: %+v vs %+v", e,
+				Telemetry{TimeS: a.TimeS, ChipPowerW: a.ChipPowerW, TruePowerW: a.TruePowerW},
+				Telemetry{TimeS: b.TimeS, ChipPowerW: b.ChipPowerW, TruePowerW: b.TruePowerW})
+		}
+		for i := 0; i < n; i++ {
+			if a.Cores[i] != b.Cores[i] {
+				t.Fatalf("epoch %d core %d: %+v vs %+v", e, i, a.Cores[i], b.Cores[i])
+			}
+		}
+		// Exercise transitions: walk every core's level deterministically.
+		for i := 0; i < n; i++ {
+			seq.SetLevel(i, (e+i)%seq.Config().VF.Levels())
+			parl.SetLevel(i, (e+i)%parl.Config().VF.Levels())
+		}
+	}
+	if seq.EnergyJ() != parl.EnergyJ() {
+		t.Fatalf("energy diverged: %v vs %v", seq.EnergyJ(), parl.EnergyJ())
+	}
+	if seq.Instructions() != parl.Instructions() {
+		t.Fatalf("instructions diverged: %v vs %v", seq.Instructions(), parl.Instructions())
+	}
+	for i := 0; i < n; i++ {
+		if seq.CoreInstructions(i) != parl.CoreInstructions(i) {
+			t.Fatalf("core %d instructions diverged", i)
+		}
+	}
+}
+
+// TestStepSmallChipStaysSequential pins the threshold: a 64-core chip never
+// pays goroutine dispatch regardless of the Workers knob.
+func TestStepSmallChipStaysSequential(t *testing.T) {
+	chip := buildChip(t, 8, 8, 16)
+	if got := chip.stepWorkers(); got != 1 {
+		t.Fatalf("64-core chip reports %d step workers, want 1", got)
+	}
+}
+
+// TestStepSharedSourcesStaySequential pins the safety rule: barrier-app
+// lanes share application state, so the chip must refuse to shard even
+// above the size threshold.
+func TestStepSharedSourcesStaySequential(t *testing.T) {
+	const w, h = 16, 16
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	cfg.Workers = 8
+	work := workload.Phase{
+		Class: workload.Compute, BaseCPI: 0.85, MPKI: 2.0,
+		MemLatencyNs: 75, Activity: 0.9,
+	}
+	app, err := workload.NewBarrierApp(w*h, work, 30e6, 0.2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]workload.Source, w*h)
+	for i := range sources {
+		sources[i] = app.Lane(i)
+	}
+	chip, err := New(cfg, sources, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.stepWorkers(); got != 1 {
+		t.Fatalf("barrier-app chip reports %d step workers, want 1", got)
+	}
+	chip.Step(1e-3) // and stepping still works
+}
+
+func TestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected error for negative Workers")
+	}
+}

@@ -212,11 +212,15 @@ func (t *Tracer) emit(rec any) {
 	t.sink.Emit(b) //nolint:errcheck // tracing is best-effort; sinks surface errors on Close
 }
 
+// runTracer tracks one run's stream. The counters are atomic so a single
+// run's observer tolerates concurrent emitters (e.g. a sharded stepping
+// loop reporting from worker goroutines), matching the Tracer's own
+// concurrency guarantee.
 type runTracer struct {
 	t       *Tracer
 	id      int64
-	epochs  int
-	sampled int
+	epochs  atomic.Int64
+	sampled atomic.Int64
 }
 
 // ShouldSample implements RunObserver.
@@ -226,10 +230,14 @@ func (r *runTracer) ShouldSample(epoch int) bool {
 
 // ObserveEpoch implements RunObserver.
 func (r *runTracer) ObserveEpoch(ev *EpochEvent) {
-	if ev.Epoch+1 > r.epochs {
-		r.epochs = ev.Epoch + 1
+	last := int64(ev.Epoch + 1)
+	for {
+		seen := r.epochs.Load()
+		if last <= seen || r.epochs.CompareAndSwap(seen, last) {
+			break
+		}
 	}
-	r.sampled++
+	r.sampled.Add(1)
 	if r.t.sampleCtr != nil {
 		r.t.sampleCtr.Inc()
 	}
@@ -241,7 +249,10 @@ func (r *runTracer) ObserveEpoch(ev *EpochEvent) {
 
 // End implements RunObserver.
 func (r *runTracer) End() {
-	r.t.emit(runEndRec{Type: "run_end", Run: r.id, Epochs: r.epochs, Sampled: r.sampled})
+	r.t.emit(runEndRec{
+		Type: "run_end", Run: r.id,
+		Epochs: int(r.epochs.Load()), Sampled: int(r.sampled.Load()),
+	})
 }
 
 // ReadRecords parses a JSONL trace stream back into records, the inverse

@@ -21,6 +21,10 @@ type Env struct {
 	Seed          uint64
 	// Lambda overrides the OD-RL overshoot penalty when non-zero.
 	Lambda float64
+	// Workers bounds the goroutines sharding the OD-RL fine-grain phase:
+	// 0 uses one worker per CPU, 1 forces sequential updates. Decisions
+	// are bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultEnv returns the default platform environment for a core count.
@@ -57,6 +61,7 @@ func NewController(name string, env Env) (ctrl.Controller, error) {
 		cfg.Seed = env.Seed
 		cfg.FineEpochsPerRealloc = env.CadenceEpochs
 		cfg.DisableRealloc = name == "od-rl-norealloc"
+		cfg.Workers = env.Workers
 		if env.Lambda != 0 {
 			cfg.Lambda = env.Lambda
 		}

@@ -73,6 +73,11 @@ type Options struct {
 	// measurement window (see package obs). Nil (the default) costs one
 	// branch per epoch. Falls back to DefaultObserver when nil.
 	Observer obs.Observer
+	// Workers bounds the goroutines sharding the per-core simulation and
+	// control loops (the `-j` knob): 0 uses one worker per CPU, 1 forces
+	// fully sequential execution. Results are bit-identical for any
+	// worker count; see internal/par for the determinism contract.
+	Workers int
 }
 
 // DefaultOptions returns the default 64-core platform run: 90 W budget,
@@ -110,6 +115,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("sim: workload jitter %g out of [0,1)", o.WorkloadScaleJitter)
 	case o.TracePoints < 0:
 		return fmt.Errorf("sim: negative trace points %d", o.TracePoints)
+	case o.Workers < 0:
+		return fmt.Errorf("sim: negative worker count %d", o.Workers)
 	}
 	if o.WorkloadTrace != nil {
 		if err := o.WorkloadTrace.Validate(); err != nil {

@@ -132,6 +132,7 @@ func NewChip(opts Options) (*manycore.Chip, *noc.Mesh, error) {
 		InitialLevel:       0,
 		IslandW:            opts.IslandW,
 		IslandH:            opts.IslandH,
+		Workers:            opts.Workers,
 	}
 	if opts.Variation != nil {
 		vmap, err := variation.Generate(w, h, *opts.Variation)
@@ -325,6 +326,7 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 func EnvFor(opts Options) (Env, error) {
 	env := DefaultEnv(opts.Cores)
 	env.Seed = opts.Seed
+	env.Workers = opts.Workers
 	if opts.EpochS > 0 {
 		cadence := int(10e-3/opts.EpochS + 0.5)
 		if cadence < 1 {
