@@ -46,20 +46,32 @@ func main() {
 	}
 	defer ocli.Close()
 
+	// Parse and validate every sweep value up front so a bad -values entry
+	// or unknown -param exits immediately, before any expensive simulation
+	// runs (the fan-out below has no fail-fast).
 	points := strings.Split(*values, ",")
+	parsed := make([]float64, len(points))
 	for i, raw := range points {
 		points[i] = strings.TrimSpace(raw)
+		v, err := strconv.ParseFloat(points[i], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", points[i], err)
+			os.Exit(1)
+		}
+		parsed[i] = v
+	}
+	switch *param {
+	case "budget", "cores", "epoch", "seed":
+	default:
+		fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
+		os.Exit(1)
 	}
 
 	// Sweep points are independent runs: fan them out across -j workers,
 	// then print rows in sweep order from index-addressed results so the
 	// CSV is identical for any worker count.
 	rows, err := par.MapErr(*workers, len(points), func(i int) (string, error) {
-		raw := points[i]
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return "", fmt.Errorf("bad value %q: %v", raw, err)
-		}
+		raw, v := points[i], parsed[i]
 
 		opts := sim.DefaultOptions()
 		opts.Cores = *cores
@@ -79,8 +91,6 @@ func main() {
 			opts.EpochS = v
 		case "seed":
 			opts.Seed = uint64(v)
-		default:
-			return "", fmt.Errorf("unknown param %q", *param)
 		}
 
 		env := sim.DefaultEnv(opts.Cores)

@@ -403,6 +403,22 @@ func TestWriteReportWithVerification(t *testing.T) {
 	}
 }
 
+func TestBenchmarkSweepErrorNotCached(t *testing.T) {
+	resetSweepCache()
+	cfg := quickCfg()
+	cfg.Controllers = []string{"no-such-controller"}
+	if _, err := benchmarkSweep(cfg); err == nil {
+		t.Fatal("expected error for unknown controller")
+	}
+	// The failed entry must be evicted — sweepKey does not include the
+	// controller list, so a cached failure would otherwise poison this
+	// valid call sharing the same key.
+	cfg.Controllers = []string{"static"}
+	if _, err := benchmarkSweep(cfg); err != nil {
+		t.Fatalf("sweep after failed sweep with same key: %v", err)
+	}
+}
+
 func TestBenchmarkSweepMemoised(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Controllers = []string{"static"}

@@ -117,6 +117,9 @@ func resetSweepCache() {
 
 // benchmarkSweep runs every controller on every benchmark and returns
 // summaries[benchmark][controller], memoised so F2–F4 share one sweep.
+// Only successful sweeps stay cached: a failed entry is evicted so a later
+// call can retry after a transient error, rather than replaying the cached
+// failure for the process lifetime.
 func benchmarkSweep(cfg Config) (map[string]map[string]metrics.Summary, error) {
 	key := sweepKey{cfg.Cores, cfg.BudgetW, cfg.Seed, cfg.Quick, cfg.MeasureS}
 	sweepMu.Lock()
@@ -127,6 +130,13 @@ func benchmarkSweep(cfg Config) (map[string]map[string]metrics.Summary, error) {
 	}
 	sweepMu.Unlock()
 	e.once.Do(func() { e.val, e.err = runBenchmarkSweep(cfg) })
+	if e.err != nil {
+		sweepMu.Lock()
+		if sweepCache[key] == e {
+			delete(sweepCache, key)
+		}
+		sweepMu.Unlock()
+	}
 	return e.val, e.err
 }
 

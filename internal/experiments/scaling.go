@@ -100,6 +100,7 @@ func F5ControllerScaling(cfg Config) (Table, error) {
 		for _, name := range names {
 			env := sim.DefaultEnv(n)
 			env.Seed = cfg.Seed
+			env.Workers = 1
 			c, err := sim.NewController(name, env)
 			if err != nil {
 				return Table{}, err

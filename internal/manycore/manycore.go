@@ -301,7 +301,10 @@ func New(cfg Config, sources []workload.Source, r *rng.RNG) (*Chip, error) {
 		// WorkSource lanes (barrier apps, job systems) share application
 		// state across cores, so advancing them concurrently would race
 		// and reorder barrier releases; such chips always step
-		// sequentially.
+		// sequentially. This assertion is the only shared-state signal, so
+		// any wrapper delegating to a WorkSource must itself implement
+		// WorkSource (see the invariant on workload.Source) or it would
+		// wrongly pass this check and race under parallel stepping.
 		if _, shared := s.(workload.WorkSource); shared {
 			c.indepSources = false
 			break

@@ -10,6 +10,12 @@ import (
 // not just wall time. The simulator feeds each epoch's actual instruction
 // count back, closing the loop between DVFS decisions and program
 // progress — a slow core takes longer to reach its barrier.
+//
+// WorkSource also marks shared application state: manycore treats any
+// source implementing it as coupled to its siblings and disables parallel
+// chip stepping. Wrappers around a WorkSource must implement WorkSource
+// themselves (forwarding AdvanceWork) so this detection still fires; see
+// the invariant note on Source.
 type WorkSource interface {
 	Source
 	// AdvanceWork moves time forward dt seconds during which the core

@@ -76,6 +76,13 @@ func (s Spec) Validate() error {
 
 // Source is anything that produces a phase stream for one core: a live
 // Markov process or a recorded-trace replayer.
+//
+// Invariant for wrappers: manycore detects whether a chip's sources share
+// application state (and so must step sequentially) by asserting each
+// Source to WorkSource at construction time. A wrapper that delegates to
+// a WorkSource (a scaler, jitterer, tracer, ...) MUST itself implement
+// WorkSource and forward AdvanceWork; otherwise the shared state it hides
+// would pass the independence check and race under parallel stepping.
 type Source interface {
 	// Phase returns the currently active phase.
 	Phase() Phase
