@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-determinism race-par bench-obs bench bench-par
+# Per-target budget for the fuzz smoke pass; bump for a real fuzzing session
+# (e.g. `make fuzz-smoke FUZZTIME=10m`).
+FUZZTIME ?= 10s
 
-ci: vet build test test-determinism race-par bench-obs
+# Repo-wide statement-coverage floor for `make cover`. Set just under the
+# measured baseline (80.8%) so genuine regressions fail while scheduler
+# noise does not. Raise it when coverage rises; never lower it to merge.
+COVER_FLOOR ?= 80.0
+
+.PHONY: ci vet build test test-determinism race-par bench-obs bench bench-par fuzz-smoke cover
+
+ci: vet build test test-determinism race-par bench-obs fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +45,24 @@ bench-obs:
 
 bench:
 	$(GO) test -run=- -bench=. -benchtime=1s ./internal/obs/
+
+# Short fuzz pass over every decoder that accepts external bytes: workload
+# traces, obs JSONL records, fault plans. Go runs one fuzz target per
+# invocation, so each gets its own anchored pattern.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run='^$$' -fuzz='^FuzzTraceRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run='^$$' -fuzz='^FuzzReadRecords$$' -fuzztime=$(FUZZTIME) ./internal/obs/
+	$(GO) test -run='^$$' -fuzz='^FuzzPlanJSON$$' -fuzztime=$(FUZZTIME) ./internal/fault/
+
+# Coverage gate: repo-wide statement coverage must stay at or above
+# COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t + 0 < f + 0) { printf "coverage %.1f%% is below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # Sequential-vs-parallel wall-clock comparison: writes BENCH_par.json
 # (workers, wall-clock seconds, speedup per case) and runs the Step/Sweep

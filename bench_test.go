@@ -232,3 +232,4 @@ func BenchmarkF14_Barrier(b *testing.B)   { benchExperiment(b, "F14") }
 func BenchmarkF15_Seeds(b *testing.B)     { benchExperiment(b, "F15") }
 func BenchmarkF16_Server(b *testing.B)    { benchExperiment(b, "F16") }
 func BenchmarkF17_Hetero(b *testing.B)    { benchExperiment(b, "F17") }
+func BenchmarkF18_Faults(b *testing.B)    { benchExperiment(b, "F18") }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -32,6 +33,7 @@ func main() {
 		budget      = flag.Float64("budget", 0, "override chip budget (W)")
 		seed        = flag.Uint64("seed", 0, "override random seed")
 		workers     = flag.Int("j", 0, "worker goroutines for run fan-out and chip sharding (0 = one per CPU, 1 = sequential); results are identical for any value")
+		faultSpec   = flag.String("fault-plan", "", "inject faults into every run: an intensity in [0,1] for the canonical plan, or a plan JSON file path (F18 sweeps its own plans)")
 		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
 		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
 		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
@@ -86,6 +88,12 @@ func main() {
 	cfg := experiments.Default()
 	cfg.Quick = *quick
 	cfg.Workers = *workers
+	plan, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(1)
+	}
+	cfg.FaultPlan = plan
 	if *cores > 0 {
 		cfg.Cores = *cores
 	}

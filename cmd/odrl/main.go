@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/sim"
@@ -38,6 +39,7 @@ func main() {
 		configFile  = flag.String("config", "", "run a config.Experiment JSON file instead of flags")
 		writeConfig = flag.Bool("write-config", false, "print the default experiment JSON and exit")
 		plotTrace   = flag.Bool("plot", false, "render each controller's power trace as an ASCII chart")
+		faultSpec   = flag.String("fault-plan", "", "inject faults: an intensity in [0,1] for the canonical plan, or a plan JSON file path (see internal/fault)")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
 		traceEvery  = flag.Int("trace-every", 1, "sample every Nth epoch in -trace-events output")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
@@ -114,6 +116,12 @@ func main() {
 	opts.Seed = *seed
 	opts.SensorNoise = *noise
 	opts.ThermalOff = *thermalOff
+	plan, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl:", err)
+		os.Exit(1)
+	}
+	opts.FaultPlan = plan
 	if *traceFile != "" || *plotTrace {
 		opts.TracePoints = 500
 	}

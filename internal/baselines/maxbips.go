@@ -91,8 +91,19 @@ func (m *MaxBIPS) solve(tel *manycore.Telemetry, budgetW float64, out []int) {
 	for i := 0; i < n; i++ {
 		for l := 0; l < levels; l++ {
 			p := m.pred.PowerAt(tel.Cores[i], l)
-			costs[i*levels+l] = int(math.Ceil(p / m.resW))
-			values[i*levels+l] = m.pred.IPSAt(tel.Cores[i], l)
+			cost := int(math.Ceil(p / m.resW))
+			if cost < 0 || math.IsNaN(p) {
+				// int(Ceil(NaN)) is implementation-defined and a negative
+				// cost would index dp out of range; corrupted predictions
+				// degrade to "free", never to a crash.
+				cost = 0
+			}
+			costs[i*levels+l] = cost
+			v := m.pred.IPSAt(tel.Cores[i], l)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			values[i*levels+l] = v
 		}
 	}
 

@@ -58,6 +58,11 @@ func (p *PID) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
 	if budgetW > 0 {
 		err = (budgetW - tel.ChipPowerW) / budgetW
 	}
+	if math.IsNaN(err) {
+		// A corrupted meter reading carries no information; a NaN error
+		// would otherwise poison the integral state permanently.
+		err = 0
+	}
 	// Clamp the relative error so a transient power spike cannot slam the
 	// loop across the whole level range in one epoch.
 	if err > 1 {

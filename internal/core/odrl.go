@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/manycore"
@@ -105,6 +106,15 @@ type Config struct {
 	// paper's local/global split. Sharding engages only for chips of at
 	// least 128 control domains.
 	Workers int
+	// WatchdogEpochs, when positive, arms a per-core telemetry watchdog:
+	// after this many consecutive epochs of an exactly repeated (IPS,
+	// power) reading — the signature of a stuck sensor or telemetry
+	// blackout, which live noisy telemetry never produces — the core falls
+	// back to the lowest-power level and its agent stops learning until
+	// fresh data arrives. Zero (the default) disables the watchdog and
+	// leaves the decision stream byte-identical to prior releases; the
+	// harness arms it automatically when a fault plan is active.
+	WatchdogEpochs int
 	// FunctionApprox replaces the tabular per-core agents with tile-coded
 	// linear SARSA(λ) over the continuous state ⟨headroom,
 	// memory-boundedness, level⟩ — no discretisation cliffs, smooth
@@ -205,6 +215,17 @@ type Controller struct {
 	epoch      int
 	started    bool
 
+	// dead marks cores the telemetry reports as failed; their budget share
+	// is reclaimed by the survivors and they leave the control domain.
+	dead  []bool
+	alive int
+
+	// Watchdog state, allocated only when WatchdogEpochs > 0. decideCore
+	// touches only core-i slots, so the sharded local phase stays race-free.
+	wdLastIPS    []float64
+	wdLastPowerW []float64
+	wdStale      []int
+
 	// phases profiles the two control layers separately (claim C4: the
 	// fine-grain layer is O(1) per core, only reallocation is global).
 	phases *obs.SpanTimer
@@ -240,6 +261,9 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	if cfg.WatchdogEpochs < 0 {
+		return nil, fmt.Errorf("core: negative WatchdogEpochs %d", cfg.WatchdogEpochs)
 	}
 
 	codec := rl.MustCodec(cfg.HeadroomBuckets, cfg.MemBuckets, table.Levels())
@@ -318,6 +342,13 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 		// Reward normalisation: the fastest plausible core, ~2 IPC at fmax.
 		maxIPS: 2 * table.Max().FreqHz,
 		phases: obs.NewSpanTimer(obs.PhaseLocal, obs.PhaseGlobal, obs.PhaseComm),
+		dead:   make([]bool, cores),
+		alive:  cores,
+	}
+	if cfg.WatchdogEpochs > 0 {
+		c.wdLastIPS = make([]float64, cores)
+		c.wdLastPowerW = make([]float64, cores)
+		c.wdStale = make([]int, cores)
 	}
 	return c, nil
 }
@@ -346,10 +377,23 @@ func (c *Controller) Budgets() []float64 {
 // floor: the larger of the hardware floor and BudgetFloorFrac of the equal
 // split (never above the split itself, so the floors always fit the total).
 func (c *Controller) initBudgets(chipBudgetW float64) {
-	share := c.coreBudgetTotal(chipBudgetW) / float64(len(c.budgets))
+	total := c.coreBudgetTotal(chipBudgetW)
+	share := total / float64(c.alive)
 	for i := range c.budgets {
 		c.budgets[i] = share
 	}
+	c.setFloor(total)
+	c.lastBudget = chipBudgetW
+}
+
+// setFloor recomputes the per-core share floor for the current alive
+// population and core-level budget total.
+func (c *Controller) setFloor(total float64) {
+	n := c.alive
+	if n <= 0 {
+		n = len(c.budgets)
+	}
+	share := total / float64(n)
 	c.minBudget = c.cfg.BudgetFloorFrac * share
 	if c.minBudget < c.hwFloor {
 		c.minBudget = c.hwFloor
@@ -357,7 +401,36 @@ func (c *Controller) initBudgets(chipBudgetW float64) {
 	if c.minBudget > share {
 		c.minBudget = share
 	}
-	c.lastBudget = chipBudgetW
+}
+
+// retireCore permanently removes a failed core from the control domain:
+// its remaining budget share is split across the survivors and the share
+// floor is recomputed for the smaller population.
+func (c *Controller) retireCore(i int) {
+	c.dead[i] = true
+	c.alive--
+	freed := c.budgets[i]
+	c.budgets[i] = 0
+	if c.alive <= 0 {
+		return
+	}
+	c.setFloor(c.coreBudgetTotal(c.lastBudget))
+	add := freed / float64(c.alive)
+	for j := range c.budgets {
+		if !c.dead[j] {
+			c.budgets[j] += add
+		}
+	}
+}
+
+// finiteOr returns x, or fallback when x is NaN or infinite — telemetry
+// corrupted by sensor faults must never reach the Q-tables or the budget
+// arithmetic.
+func finiteOr(x, fallback float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fallback
+	}
+	return x
 }
 
 // coreBudgetTotal is the chip budget minus the uncore floor, never below a
@@ -392,21 +465,22 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 		// Budget moved (e.g. a datacentre cap event): rescale every share
 		// and recompute the floor for the new total.
 		scale := c.coreBudgetTotal(budgetW) / c.coreBudgetTotal(c.lastBudget)
-		share := c.coreBudgetTotal(budgetW) / float64(len(c.budgets))
-		c.minBudget = c.cfg.BudgetFloorFrac * share
-		if c.minBudget < c.hwFloor {
-			c.minBudget = c.hwFloor
-		}
-		if c.minBudget > share {
-			c.minBudget = share
-		}
+		c.setFloor(c.coreBudgetTotal(budgetW))
 		for i := range c.budgets {
+			if c.dead[i] {
+				continue // a dead core's share stays reclaimed
+			}
 			c.budgets[i] *= scale
 			if c.budgets[i] < c.minBudget {
 				c.budgets[i] = c.minBudget
 			}
 		}
 		c.lastBudget = budgetW
+	}
+	for i := range tel.Cores {
+		if tel.Cores[i].Dead && !c.dead[i] {
+			c.retireCore(i)
+		}
 	}
 
 	// Fine-grain local phase: every agent update touches only its own
@@ -485,6 +559,17 @@ func (c *Controller) localWorkers(n int) int {
 // is what licenses sharding the caller's loop.
 func (c *Controller) decideCore(i int, tel *manycore.Telemetry, x []float64) int {
 	ct := &tel.Cores[i]
+	if c.dead[i] {
+		// A failed core is out of the control domain: hold the bottom
+		// level and leave its agent untouched.
+		return 0
+	}
+	if c.wdStale != nil && c.watchdogStale(i, ct) {
+		// Telemetry for this core is provably stale; acting on it would
+		// teach the agent from a phase that may be long gone. Fall back to
+		// the lowest-power level until fresh readings return.
+		return 0
+	}
 	if c.linAgents != nil {
 		s := c.contStateOf(ct, c.budgets[i], x)
 		if !c.started {
@@ -499,16 +584,32 @@ func (c *Controller) decideCore(i int, tel *manycore.Telemetry, x []float64) int
 	return c.agents[i].Step(c.rewardOf(ct, c.budgets[i]), state)
 }
 
+// watchdogStale advances core i's watchdog and reports whether it has
+// tripped. The trigger is an exactly repeated (IPS, power) pair for
+// WatchdogEpochs consecutive epochs: live telemetry carries continuous
+// sensor noise, so exact repeats only happen when the sensor path serves
+// stale data (stuck sensor or blackout). Only core-i slots are touched,
+// keeping the sharded local phase race-free.
+func (c *Controller) watchdogStale(i int, ct *manycore.CoreTelemetry) bool {
+	if c.started && ct.IPS == c.wdLastIPS[i] && ct.PowerW == c.wdLastPowerW[i] {
+		c.wdStale[i]++
+	} else {
+		c.wdStale[i] = 0
+	}
+	c.wdLastIPS[i], c.wdLastPowerW[i] = ct.IPS, ct.PowerW
+	return c.wdStale[i] >= c.cfg.WatchdogEpochs
+}
+
 // contStateOf builds the continuous state vector for FA mode into x (len
 // 3); LinearAgent copies what it needs.
 func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64, x []float64) []float64 {
 	headroom := 0.0
 	if budget > 0 {
-		headroom = (budget - ct.PowerW) / budget
+		headroom = finiteOr((budget-ct.PowerW)/budget, 0)
 	}
 	levels := float64(c.table.Levels() - 1)
 	x[0] = headroom
-	x[1] = ct.MemBoundedness
+	x[1] = finiteOr(ct.MemBoundedness, 0)
 	x[2] = float64(ct.Level) / levels
 	return x
 }
@@ -517,21 +618,21 @@ func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64, x [
 func (c *Controller) stateOf(ct *manycore.CoreTelemetry, budget float64) int {
 	headroom := 0.0
 	if budget > 0 {
-		headroom = (budget - ct.PowerW) / budget
+		headroom = finiteOr((budget-ct.PowerW)/budget, 0)
 	}
 	return c.codec.Encode(
 		c.headD.Bucket(headroom),
-		c.memD.Bucket(ct.MemBoundedness),
+		c.memD.Bucket(finiteOr(ct.MemBoundedness, 0)),
 		ct.Level,
 	)
 }
 
 // rewardOf scores the epoch that just finished for one core.
 func (c *Controller) rewardOf(ct *manycore.CoreTelemetry, budget float64) float64 {
-	perf := ct.IPS / c.maxIPS
+	perf := finiteOr(ct.IPS/c.maxIPS, 0)
 	overshoot := 0.0
 	if budget > 0 && ct.PowerW > budget {
-		overshoot = (ct.PowerW - budget) / budget
+		overshoot = finiteOr((ct.PowerW-budget)/budget, 0)
 	}
 	r := perf - c.cfg.Lambda*overshoot
 	if c.cfg.ThermalLambda > 0 && ct.TempK > c.cfg.ThermalRefK {
@@ -540,15 +641,26 @@ func (c *Controller) rewardOf(ct *manycore.CoreTelemetry, budget float64) float6
 	return r
 }
 
-// reallocate is the coarse-grain O(n) budget redistribution pass.
+// reallocate is the coarse-grain O(n) budget redistribution pass. Dead
+// cores are outside the budget domain: they are skipped in every pass and
+// the share floor and totals are computed over the surviving population.
 func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	n := len(c.budgets)
+	alive := float64(c.alive)
+	if c.alive <= 0 {
+		return
+	}
 	total := c.coreBudgetTotal(budgetW)
 
-	// Pass 1: harvest unprotected slack from under-consuming cores.
+	// Pass 1: harvest unprotected slack from under-consuming cores. A
+	// non-finite power reading is treated as the core using its full
+	// share — stale garbage must not look like harvestable slack.
 	pool := 0.0
 	for i := 0; i < n; i++ {
-		used := c.reallocPower(tel, i)
+		if c.dead[i] {
+			continue
+		}
+		used := finiteOr(c.reallocPower(tel, i), c.budgets[i])
 		margin := c.cfg.ReallocMargin * c.budgets[i]
 		slack := c.budgets[i] - used - margin
 		if slack > 0 {
@@ -574,16 +686,22 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	weightSum := 0.0
 	weights := make([]float64, n)
 	for i := 0; i < n; i++ {
-		used := c.reallocPower(tel, i)
+		if c.dead[i] {
+			continue
+		}
+		used := finiteOr(c.reallocPower(tel, i), c.budgets[i])
 		margin := c.cfg.ReallocMargin * c.budgets[i]
 		w := 0.05
 		if used >= c.budgets[i]-margin {
-			w = (1 - tel.Cores[i].MemBoundedness) + 0.1
+			w = (1 - finiteOr(tel.Cores[i].MemBoundedness, 0)) + 0.1
 		}
 		weights[i] = w
 		weightSum += w
 	}
 	for i := 0; i < n; i++ {
+		if c.dead[i] {
+			continue
+		}
 		c.budgets[i] += pool * weights[i] / weightSum
 	}
 
@@ -591,16 +709,22 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	// respecting the per-core floor: the excess above the floor is scaled
 	// proportionally so harvest arithmetic can never drift the aggregate
 	// cap or starve a core below the floor.
-	floorTotal := c.minBudget * float64(n)
+	floorTotal := c.minBudget * alive
 	if total <= floorTotal {
-		share := total / float64(n)
+		share := total / alive
 		for i := range c.budgets {
+			if c.dead[i] {
+				continue
+			}
 			c.budgets[i] = share
 		}
 		return
 	}
 	excessTotal := 0.0
-	for _, b := range c.budgets {
+	for i, b := range c.budgets {
+		if c.dead[i] {
+			continue
+		}
 		e := b - c.minBudget
 		if e > 0 {
 			excessTotal += e
@@ -608,14 +732,20 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	}
 	target := total - floorTotal
 	if excessTotal <= 0 {
-		share := target / float64(n)
+		share := target / alive
 		for i := range c.budgets {
+			if c.dead[i] {
+				continue
+			}
 			c.budgets[i] = c.minBudget + share
 		}
 		return
 	}
 	scale := target / excessTotal
 	for i := range c.budgets {
+		if c.dead[i] {
+			continue
+		}
 		e := c.budgets[i] - c.minBudget
 		if e < 0 {
 			e = 0

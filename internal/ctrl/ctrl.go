@@ -73,14 +73,18 @@ func NewPredictor(table *vf.Table, p power.Params) (Predictor, error) {
 func (p Predictor) PowerAt(ct manycore.CoreTelemetry, level int) float64 {
 	cur := p.VF.Point(ct.Level)
 	next := p.VF.Point(level)
-	leakCur := p.Power.LeakageW(cur.VoltageV, ct.TempK)
+	tempK := ct.TempK
+	if !(tempK > 0) { // negated comparison also catches NaN sensor readings
+		tempK = 300
+	}
+	leakCur := p.Power.LeakageW(cur.VoltageV, tempK)
 	dyn := ct.PowerW - leakCur
-	if dyn < 0 {
+	if !(dyn > 0) {
 		dyn = 0
 	}
 	scale := (next.VoltageV * next.VoltageV * next.FreqHz) /
 		(cur.VoltageV * cur.VoltageV * cur.FreqHz)
-	return dyn*scale + p.Power.LeakageW(next.VoltageV, ct.TempK)
+	return dyn*scale + p.Power.LeakageW(next.VoltageV, tempK)
 }
 
 // IPSAt estimates the core's instruction throughput at the given level,
@@ -91,10 +95,14 @@ func (p Predictor) IPSAt(ct manycore.CoreTelemetry, level int) float64 {
 	cur := p.VF.Point(ct.Level)
 	next := p.VF.Point(level)
 	mb := ct.MemBoundedness
-	if mb < 0 {
+	if !(mb > 0) { // negated comparison also catches NaN sensor readings
 		mb = 0
 	} else if mb > 1 {
 		mb = 1
+	}
+	ips := ct.IPS
+	if !(ips >= 0) {
+		ips = 0
 	}
 	// Time per instruction splits into a core part (scales 1/f) and a
 	// memory part (constant): t(f') = t(f)·((1−mb)·f/f' + mb).
@@ -102,7 +110,7 @@ func (p Predictor) IPSAt(ct manycore.CoreTelemetry, level int) float64 {
 	if denom <= 0 {
 		return 0
 	}
-	return ct.IPS / denom
+	return ips / denom
 }
 
 // MinChipPowerW returns a model-based lower bound for chip power with every

@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	// bit-identical for any worker count — runs derive their randomness
 	// from (Seed, run identity), never from scheduling order.
 	Workers int
+	// FaultPlan, when non-nil and non-zero, injects deterministic faults
+	// into every run (see package fault). F18 sweeps its own plans and
+	// ignores this field.
+	FaultPlan *fault.Plan
 }
 
 // Default returns the evaluation configuration used in EXPERIMENTS.md.
@@ -109,6 +114,7 @@ func (c Config) runOpts() sim.Options {
 	opts.MeasureS = c.MeasureS
 	opts.Seed = c.Seed
 	opts.Workers = c.Workers
+	opts.FaultPlan = c.FaultPlan
 	return opts
 }
 
@@ -242,6 +248,7 @@ func All() []struct {
 		{"F15", F15Seeds},
 		{"F16", F16Server},
 		{"F17", F17Hetero},
+		{"F18", F18FaultIntensity},
 	}
 }
 

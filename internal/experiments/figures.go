@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/sim"
@@ -90,6 +91,9 @@ type sweepKey struct {
 	seed     uint64
 	quick    bool
 	measureS float64
+	// plan is the dereferenced fault plan (zero value when none): faulted
+	// and clean sweeps must never share an entry.
+	plan fault.Plan
 }
 
 // sweepEntry is one memoised sweep. The per-entry Once guarantees exactly
@@ -121,7 +125,10 @@ func resetSweepCache() {
 // call can retry after a transient error, rather than replaying the cached
 // failure for the process lifetime.
 func benchmarkSweep(cfg Config) (map[string]map[string]metrics.Summary, error) {
-	key := sweepKey{cfg.Cores, cfg.BudgetW, cfg.Seed, cfg.Quick, cfg.MeasureS}
+	key := sweepKey{cores: cfg.Cores, budgetW: cfg.BudgetW, seed: cfg.Seed, quick: cfg.Quick, measureS: cfg.MeasureS}
+	if cfg.FaultPlan != nil {
+		key.plan = *cfg.FaultPlan
+	}
 	sweepMu.Lock()
 	e := sweepCache[key]
 	if e == nil {

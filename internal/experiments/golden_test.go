@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the golden files from the current code instead of
+// comparing against them: `go test ./internal/experiments/ -run Golden -update`.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig pins every axis that feeds the snapshot: Quick fidelity,
+// sequential workers (results are bit-identical for any worker count, so
+// this is belt-and-braces, not a requirement).
+func goldenConfig() Config {
+	return Config{Quick: true, Workers: 1}
+}
+
+// maskColumns replaces every cell of the named columns with "-". Wall-clock
+// columns (decision latency, speedup) are real measurements and cannot be
+// golden-tested; the table's structure and its deterministic columns can.
+func maskColumns(t Table, cols ...string) Table {
+	masked := map[int]bool{}
+	for i, h := range t.Header {
+		for _, c := range cols {
+			if h == c {
+				masked[i] = true
+			}
+		}
+	}
+	rows := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		out := append([]string(nil), row...)
+		for i := range out {
+			if masked[i] {
+				out[i] = "-"
+			}
+		}
+		rows[r] = out
+	}
+	t.Rows = rows
+	return t
+}
+
+// checkGolden renders the table and compares it byte-for-byte against
+// testdata/<name>.golden, rewriting the file under -update.
+func checkGolden(t *testing.T, name string, tbl Table) {
+	t.Helper()
+	var b strings.Builder
+	if _, err := tbl.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden snapshot.\n--- want\n%s--- got\n%s\nIf the change is intentional, regenerate with -update.",
+			path, want, got)
+	}
+}
+
+// TestGoldenF1 pins the cap-event table: any refactor that shifts the
+// reproduced numbers (workload realisation, stepping order, controller
+// decisions) trips this before it can silently land.
+func TestGoldenF1(t *testing.T) {
+	tbl, err := F1PowerTrace(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "f1", tbl)
+}
+
+// TestGoldenSweep pins the F2–F4 family, which all reduce the same
+// benchmark × controller sweep.
+func TestGoldenSweep(t *testing.T) {
+	resetSweepCache()
+	for _, tc := range []struct {
+		name string
+		run  Runner
+	}{
+		{"f2", F2Overshoot},
+		{"f3", F3ThroughputPerOverEnergy},
+		{"f4", F4EnergyEfficiency},
+	} {
+		tbl, err := tc.run(goldenConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, tbl)
+	}
+}
+
+// TestGoldenF5 pins F5's structure and modelled columns. The measured
+// latency and speedup columns are wall-clock and are masked out; the NoC
+// gather latency is modelled and must stay exact.
+func TestGoldenF5(t *testing.T) {
+	tbl, err := F5ControllerScaling(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl = maskColumns(tbl,
+		"od-rl(µs)", "maxbips(µs)", "steepest-drop(µs)", "pid(µs)", "speedup")
+	checkGolden(t, "f5", tbl)
+}

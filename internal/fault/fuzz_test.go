@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanJSON: the plan decoder must never panic, must never accept an
+// invalid plan, and anything it accepts must survive a Save/Load round
+// trip unchanged.
+func FuzzPlanJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Scaled(1).Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{}`)
+	f.Add(`{"sensor_stuck_prob": 0.5, "seed": 7}`)
+	f.Add(`{"meter_bias": -2}`)
+	f.Add(`{"blackout_rate_per_s": 1}`)
+	f.Add(`{"sensor_stuck_prob": "NaN"}`)
+	f.Add(`not json`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Load accepted an invalid plan %+v: %v", p, verr)
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("Save failed on accepted plan: %v", err)
+		}
+		q, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected Save output: %v", err)
+		}
+		if p != q {
+			t.Fatalf("round trip drifted: %+v vs %+v", p, q)
+		}
+	})
+}

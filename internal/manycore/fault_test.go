@@ -1,0 +1,132 @@
+package manycore
+
+import (
+	"testing"
+)
+
+// telFilterFunc adapts a func to TelemetryFilter.
+type telFilterFunc func(*Telemetry)
+
+func (f telFilterFunc) FilterTelemetry(tel *Telemetry) { f(tel) }
+
+// actFilterFunc adapts a func to ActuationFilter.
+type actFilterFunc func(core, requested, current int) int
+
+func (f actFilterFunc) FilterLevel(core, requested, current int) int {
+	return f(core, requested, current)
+}
+
+func TestFailCoreGoesDark(t *testing.T) {
+	chip := newTestChip(t, testConfig(2, 2), computeSource)
+	for i := 0; i < 4; i++ {
+		chip.SetLevel(i, 2)
+	}
+	chip.Step(1e-3)
+
+	chip.FailCore(1)
+	if !chip.CoreDead(1) {
+		t.Fatal("CoreDead(1) false after FailCore")
+	}
+	if chip.CoreDead(0) {
+		t.Fatal("CoreDead(0) true for a live core")
+	}
+	if chip.Level(1) != 0 {
+		t.Fatalf("dead core level = %d, want 0", chip.Level(1))
+	}
+
+	before := chip.Instructions()
+	tel := chip.Step(1e-3)
+	ct := tel.Cores[1]
+	if !ct.Dead {
+		t.Fatal("telemetry does not report core 1 dead")
+	}
+	if ct.PowerW != 0 || ct.IPS != 0 || ct.Instructions != 0 {
+		t.Fatalf("dead core still active: %+v", ct)
+	}
+	if live := tel.Cores[0]; live.Dead || live.Instructions == 0 {
+		t.Fatalf("live core corrupted by neighbour's death: %+v", live)
+	}
+	if chip.Instructions() <= before {
+		t.Fatal("chip-wide instruction counter stopped")
+	}
+
+	// Actuation on a dead core is silently ignored.
+	chip.SetLevel(1, 3)
+	if chip.Level(1) != 0 {
+		t.Fatalf("dead core accepted SetLevel: level %d", chip.Level(1))
+	}
+	// FailCore is idempotent.
+	chip.FailCore(1)
+	if !chip.CoreDead(1) {
+		t.Fatal("second FailCore cleared the dead flag")
+	}
+}
+
+func TestDeadCoreNoisePadKeepsDeterminism(t *testing.T) {
+	// The dead-core path must consume the same number of noise draws as a
+	// live core, so sequential and sharded stepping stay bit-identical
+	// with a mid-run death.
+	run := func(workers int) float64 {
+		cfg := testConfig(4, 4)
+		cfg.SensorNoise = 0.05
+		cfg.Workers = workers
+		chip := newTestChip(t, cfg, computeSource)
+		sum := 0.0
+		for e := 0; e < 20; e++ {
+			if e == 5 {
+				chip.FailCore(3)
+				chip.FailCore(11)
+			}
+			tel := chip.Step(1e-3)
+			for _, ct := range tel.Cores {
+				sum += ct.PowerW + ct.IPS
+			}
+			sum += tel.ChipPowerW
+		}
+		return sum
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("dead-core run diverged across worker counts: %v vs %v", a, b)
+	}
+}
+
+func TestTelemetryFilterApplied(t *testing.T) {
+	chip := newTestChip(t, testConfig(2, 2), computeSource)
+	chip.SetTelemetryFilter(telFilterFunc(func(tel *Telemetry) {
+		for i := range tel.Cores {
+			tel.Cores[i].IPS = -1
+		}
+		tel.ChipPowerW = 123
+	}))
+	tel := chip.Step(1e-3)
+	if tel.ChipPowerW != 123 {
+		t.Fatalf("chip meter not filtered: %g", tel.ChipPowerW)
+	}
+	for i, ct := range tel.Cores {
+		if ct.IPS != -1 {
+			t.Fatalf("core %d telemetry not filtered: IPS %g", i, ct.IPS)
+		}
+	}
+	if tel.TruePowerW == 123 {
+		t.Fatal("filter reached the true (physics) power")
+	}
+}
+
+func TestActuationFilterAppliedAndClamped(t *testing.T) {
+	chip := newTestChip(t, testConfig(2, 2), computeSource)
+	chip.SetActuationFilter(actFilterFunc(func(core, requested, current int) int {
+		if core == 0 {
+			return current // drop
+		}
+		return 999 // out of range: chip must clamp, not panic
+	}))
+	chip.SetLevel(0, 3)
+	chip.SetLevel(1, 2)
+	chip.Step(1e-3) // requests latch at the epoch boundary
+	if chip.Level(0) != 0 {
+		t.Fatalf("dropped actuation still landed: level %d", chip.Level(0))
+	}
+	if got, top := chip.Level(1), chip.Config().VF.Levels()-1; got != top {
+		t.Fatalf("filter result not clamped to top level: got %d want %d", got, top)
+	}
+}

@@ -224,6 +224,31 @@ type CoreTelemetry struct {
 	MemBoundedness float64
 	Instructions   float64
 	PhaseChanged   bool
+	// Dead marks a core that has failed permanently (see Chip.FailCore).
+	// It is the machine-check signal a real chip raises on core failure:
+	// controllers may use it to reclaim the core's budget share, and a dead
+	// core's other fields are all zero.
+	Dead bool
+}
+
+// TelemetryFilter rewrites the telemetry controllers observe, at the
+// sensor-read boundary: Chip.Step invokes it once per epoch, after the
+// per-core loop, on the telemetry it is about to return. Implementations
+// must only modify observed fields (per-core readings and ChipPowerW),
+// never TruePowerW or Instructions, and must be cheap — they run on the
+// sequential path of every epoch. Package fault provides the standard
+// implementation.
+type TelemetryFilter interface {
+	FilterTelemetry(tel *Telemetry)
+}
+
+// ActuationFilter intercepts VF level requests at the SetLevel boundary:
+// it receives the validated requested level and the core's current
+// effective level, and returns the level actually latched. Returned levels
+// are clamped to the table range. Package fault provides the standard
+// implementation (dropped or clamped actuations).
+type ActuationFilter interface {
+	FilterLevel(core, requested, current int) int
 }
 
 // Telemetry is the chip-level epoch report.
@@ -254,6 +279,13 @@ type Chip struct {
 	energyJ     float64
 	instrTotal  float64
 	instrByCore []float64
+
+	// fault-injection hooks; nil (the default) costs one branch per epoch
+	// (telFilter) or per SetLevel (actFilter). dead is allocated lazily by
+	// the first FailCore.
+	telFilter TelemetryFilter
+	actFilter ActuationFilter
+	dead      []bool
 
 	// indepSources records that no source shares state with another (no
 	// WorkSource lanes), which is what licenses parallel stepping.
@@ -341,13 +373,49 @@ func (c *Chip) Level(core int) int { return c.levels[core] }
 // effect at the next epoch boundary; when cores share a voltage-frequency
 // island, the island runs at the highest level requested by any member.
 // Out-of-range levels panic: emitting them is a controller bug that must
-// not be silently absorbed.
+// not be silently absorbed. Requests for dead cores are ignored, and an
+// installed ActuationFilter may rewrite the request (fault injection).
 func (c *Chip) SetLevel(core, level int) {
 	if level < 0 || level >= c.cfg.VF.Levels() {
 		panic(fmt.Sprintf("manycore: level %d out of range [0,%d)", level, c.cfg.VF.Levels()))
 	}
+	if c.dead != nil && c.dead[core] {
+		return
+	}
+	if c.actFilter != nil {
+		level = c.actFilter.FilterLevel(core, level, c.levels[core])
+		if level < 0 {
+			level = 0
+		} else if max := c.cfg.VF.Levels() - 1; level > max {
+			level = max
+		}
+	}
 	c.requested[core] = level
 }
+
+// SetTelemetryFilter installs (or, with nil, removes) the sensor-read
+// fault hook applied to every Step's telemetry.
+func (c *Chip) SetTelemetryFilter(f TelemetryFilter) { c.telFilter = f }
+
+// SetActuationFilter installs (or, with nil, removes) the SetLevel fault
+// hook.
+func (c *Chip) SetActuationFilter(f ActuationFilter) { c.actFilter = f }
+
+// FailCore powers core i off permanently: it retires nothing, burns
+// nothing, reports all-zero telemetry with the Dead flag set, and ignores
+// further level requests. Failing an already-dead core is a no-op.
+func (c *Chip) FailCore(core int) {
+	if c.dead == nil {
+		c.dead = make([]bool, c.NumCores())
+	}
+	c.dead[core] = true
+	c.requested[core] = 0
+	c.levels[core] = 0
+	c.transitioned[core] = false
+}
+
+// CoreDead reports whether core i has been powered off via FailCore.
+func (c *Chip) CoreDead(core int) bool { return c.dead != nil && c.dead[core] }
 
 // resolveIslands applies the pending requests: each island takes the max
 // requested level of its cores; a core whose effective level changes is
@@ -442,6 +510,21 @@ func (c *Chip) stepCore(i int, dt float64, tel *Telemetry, noise []float64) {
 			o = 0
 		}
 		return o
+	}
+
+	if c.dead != nil && c.dead[i] {
+		// Powered-off core: retires nothing, burns nothing, workload
+		// frozen. The three observe calls still run (on zero, which they
+		// return unchanged) so the sensor-noise stream advances exactly as
+		// for a live core — dead cores must not shift the draws of their
+		// neighbours, or sequential and parallel stepping would diverge.
+		observe(0, 0)
+		observe(1, 0)
+		observe(2, 0)
+		c.corePowerW[i] = 0
+		c.instrDelta[i] = 0
+		tel.Cores[i] = CoreTelemetry{Dead: true}
+		return
 	}
 
 	ph := c.sources[i].Phase()
@@ -572,6 +655,11 @@ func (c *Chip) Step(dt float64) Telemetry {
 	tel.TimeS = c.timeS
 	tel.TruePowerW = truePower
 	tel.ChipPowerW = c.observed(truePower)
+	// The sensor-read fault hook runs last, on the sequential path, so the
+	// faults it injects are independent of the worker count above.
+	if c.telFilter != nil {
+		c.telFilter.FilterTelemetry(&tel)
+	}
 	return tel
 }
 

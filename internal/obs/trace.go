@@ -39,15 +39,39 @@ type EpochEvent struct {
 	DecideNs int64 `json:"decide_ns"`
 }
 
+// FaultEvent is one discrete injected fault (core death, telemetry
+// blackout, budget-drop transient) reported by the fault-injection layer.
+// Epoch counts from zero at the start of the measurement window and is
+// negative for faults injected during warmup.
+type FaultEvent struct {
+	Epoch int     `json:"epoch"`
+	TimeS float64 `json:"time_s"`
+	// Kind names the fault class (see package fault's Kind* constants).
+	Kind string `json:"kind"`
+	// Core is the affected core, -1 for chip-wide faults.
+	Core int `json:"core"`
+	// UntilS is when the fault window ends; permanent faults omit it.
+	UntilS float64 `json:"until_s,omitempty"`
+}
+
+// FaultObserver is optionally implemented by RunObservers that want the
+// discrete fault events of a run alongside its epoch stream. Fault events
+// are rare, so they are delivered unconditionally (no ShouldSample gate).
+type FaultObserver interface {
+	ObserveFault(ev *FaultEvent)
+}
+
 // Record is one decoded JSONL trace line. Type selects which of the other
 // fields are meaningful.
 type Record struct {
-	Type string `json:"type"` // "run_start" | "epoch" | "run_end"
+	Type string `json:"type"` // "run_start" | "epoch" | "fault" | "run_end"
 	Run  int64  `json:"run"`
 	// Meta is valid for run_start records.
 	Meta RunMeta `json:"-"`
 	// Event is valid for epoch records.
 	Event EpochEvent `json:"-"`
+	// Fault is valid for fault records.
+	Fault FaultEvent `json:"-"`
 	// Epochs and Sampled are valid for run_end records.
 	Epochs  int `json:"epochs,omitempty"`
 	Sampled int `json:"sampled,omitempty"`
@@ -65,6 +89,12 @@ type epochRec struct {
 	Type string `json:"type"`
 	Run  int64  `json:"run"`
 	EpochEvent
+}
+
+type faultRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	FaultEvent
 }
 
 type runEndRec struct {
@@ -247,6 +277,11 @@ func (r *runTracer) ObserveEpoch(ev *EpochEvent) {
 	r.t.emit(epochRec{Type: "epoch", Run: r.id, EpochEvent: *ev})
 }
 
+// ObserveFault implements FaultObserver.
+func (r *runTracer) ObserveFault(ev *FaultEvent) {
+	r.t.emit(faultRec{Type: "fault", Run: r.id, FaultEvent: *ev})
+}
+
 // End implements RunObserver.
 func (r *runTracer) End() {
 	r.t.emit(runEndRec{
@@ -283,6 +318,10 @@ func ReadRecords(rd io.Reader) ([]Record, error) {
 			}
 		case "epoch":
 			if err := json.Unmarshal(raw, &rec.Event); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "fault":
+			if err := json.Unmarshal(raw, &rec.Fault); err != nil {
 				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 			}
 		case "run_end":

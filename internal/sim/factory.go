@@ -25,6 +25,10 @@ type Env struct {
 	// 0 uses one worker per CPU, 1 forces sequential updates. Decisions
 	// are bit-identical for any worker count.
 	Workers int
+	// WatchdogEpochs arms the OD-RL stale-telemetry watchdog (see
+	// core.Config.WatchdogEpochs); 0 leaves it off. EnvFor sets it
+	// automatically when the run carries a fault plan.
+	WatchdogEpochs int
 }
 
 // DefaultEnv returns the default platform environment for a core count.
@@ -62,6 +66,7 @@ func NewController(name string, env Env) (ctrl.Controller, error) {
 		cfg.FineEpochsPerRealloc = env.CadenceEpochs
 		cfg.DisableRealloc = name == "od-rl-norealloc"
 		cfg.Workers = env.Workers
+		cfg.WatchdogEpochs = env.WatchdogEpochs
 		if env.Lambda != 0 {
 			cfg.Lambda = env.Lambda
 		}

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/variation"
 	"repro/internal/workload"
@@ -78,6 +79,13 @@ type Options struct {
 	// fully sequential execution. Results are bit-identical for any
 	// worker count; see internal/par for the determinism contract.
 	Workers int
+	// FaultPlan, when non-nil and non-zero, injects deterministic
+	// telemetry/actuation/structural faults into the run (see package
+	// fault). The fault stream is seeded from (Seed, FaultPlan.Seed) and
+	// drawn only on the sequential epoch loop, so fault realisations are
+	// identical for any Workers count. Nil — or a plan whose Zero() is
+	// true — leaves the run byte-identical to the fault-free path.
+	FaultPlan *fault.Plan
 }
 
 // DefaultOptions returns the default 64-core platform run: 90 W budget,
@@ -134,6 +142,11 @@ func (o Options) Validate() error {
 	}
 	if o.Variation != nil {
 		if err := o.Variation.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.FaultPlan != nil {
+		if err := o.FaultPlan.Validate(); err != nil {
 			return err
 		}
 	}

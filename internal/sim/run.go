@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/ctrl"
+	"repro/internal/fault"
 	"repro/internal/manycore"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -177,6 +179,18 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	warmupEpochs, measureEpochs := opts.Epochs()
 	totalEpochs := warmupEpochs + measureEpochs
 
+	// The injector's hooks and per-epoch draws all run on this sequential
+	// loop, so the fault realisation is independent of opts.Workers.
+	var inj *fault.Injector
+	if p := opts.FaultPlan; p != nil && !p.Zero() {
+		inj, err = fault.NewInjector(*p, opts.Cores, float64(totalEpochs)*opts.EpochS, opts.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		chip.SetTelemetryFilter(inj)
+		chip.SetActuationFilter(inj)
+	}
+
 	traceEvery := 0
 	if opts.TracePoints > 0 {
 		// Ceiling division: a floor stride records up to nearly twice the
@@ -209,6 +223,10 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 		defer runObs.End()
 		scratch = newEventScratch(cfg)
 	}
+	var faultObs obs.FaultObserver
+	if fo, ok := runObs.(obs.FaultObserver); ok && inj != nil {
+		faultObs = fo
+	}
 
 	var (
 		meter      power.Meter
@@ -230,6 +248,28 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 		}
 		tStart := chip.TimeS()
 		budget := opts.budgetAt(tStart)
+		if inj != nil {
+			for _, fe := range inj.Tick(tStart, opts.EpochS) {
+				if fe.Kind == fault.KindCoreDead {
+					chip.FailCore(fe.Core)
+				}
+				if faultObs != nil {
+					ev := obs.FaultEvent{
+						Epoch: e - warmupEpochs,
+						TimeS: tStart,
+						Kind:  fe.Kind,
+						Core:  fe.Core,
+					}
+					if !math.IsInf(fe.UntilS, 1) {
+						ev.UntilS = fe.UntilS
+					}
+					faultObs.ObserveFault(&ev)
+				}
+			}
+			// Cap transients are real: controller and compliance meter both
+			// see the reduced budget.
+			budget = inj.FilterBudget(tStart, budget)
+		}
 		tel := chip.Step(opts.EpochS)
 
 		measuring := e >= warmupEpochs
@@ -327,6 +367,13 @@ func EnvFor(opts Options) (Env, error) {
 	env := DefaultEnv(opts.Cores)
 	env.Seed = opts.Seed
 	env.Workers = opts.Workers
+	if opts.FaultPlan != nil && !opts.FaultPlan.Zero() {
+		// Faulted runs arm the stale-telemetry watchdog: 25 epochs (25 ms
+		// at the default cadence) of exactly repeated readings before a
+		// core falls back to its lowest-power level. Fault-free runs leave
+		// it off so their decision stream stays byte-identical.
+		env.WatchdogEpochs = 25
+	}
 	if opts.EpochS > 0 {
 		cadence := int(10e-3/opts.EpochS + 0.5)
 		if cadence < 1 {

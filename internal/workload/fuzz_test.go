@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -30,6 +31,41 @@ func FuzzReadJSON(f *testing.F) {
 		// Anything accepted must satisfy the validator's own contract.
 		if verr := got.Validate(); verr != nil {
 			t.Fatalf("ReadJSON accepted an invalid trace: %v", verr)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip: any trace the decoder accepts must survive an
+// encode/decode round trip byte-equivalently — WriteJSON and ReadJSON are
+// inverses on the accepted domain.
+func FuzzTraceRoundTrip(f *testing.F) {
+	var valid bytes.Buffer
+	tr, err := Record(MustPreset("x264"), 2, 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteJSON(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"name":"x","phases":[{"class":0,"base_cpi":1,"mpki":0,"mem_latency_ns":1,"activity":0.5}],"entries":[{"phase":0,"dur_s":0.1}]}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := got.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON failed on accepted trace: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("round trip drifted:\n%+v\nvs\n%+v", got, again)
 		}
 	})
 }
