@@ -12,9 +12,14 @@ FUZZTIME ?= 10s
 # noise does not. Raise it when coverage rises; never lower it to merge.
 COVER_FLOOR ?= 80.0
 
-.PHONY: ci vet build test test-determinism race-par bench-obs bench bench-par fuzz-smoke cover
+# Monitoring overhead ceiling for `make bench-monitor`, in percent: the
+# epoch loop with the run-health monitor attached must stay within this
+# fraction of the unmonitored loop.
+MONITOR_OVERHEAD_MAX ?= 3.0
 
-ci: vet build test test-determinism race-par bench-obs fuzz-smoke cover
+.PHONY: ci vet build test test-determinism race-monitor race-par bench-obs bench bench-par bench-monitor fuzz-smoke cover
+
+ci: vet build test test-determinism race-monitor race-par bench-obs bench-monitor fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +36,11 @@ test:
 test-determinism:
 	$(GO) test -run 'TestParallelDeterminism|TestStepParallelDeterminism|TestDecideParallelDeterminism' \
 		./internal/experiments/ ./internal/manycore/ ./internal/core/
+
+# Race hammer on the monitor's time-series store: concurrent HTTP-style
+# readers snapshotting while the epoch loop appends and decimates.
+race-monitor:
+	$(GO) test -race -count=1 -run 'TestStoreConcurrentReadWrite|TestSSEStream|TestSlowSubscriber' ./internal/obs/monitor/
 
 # Race gate on the packages the parallel layer touches most; `make test`
 # already runs -race repo-wide, this narrows the loop while iterating.
@@ -54,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTraceRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/workload/
 	$(GO) test -run='^$$' -fuzz='^FuzzReadRecords$$' -fuzztime=$(FUZZTIME) ./internal/obs/
 	$(GO) test -run='^$$' -fuzz='^FuzzPlanJSON$$' -fuzztime=$(FUZZTIME) ./internal/fault/
+	$(GO) test -run='^$$' -fuzz='^FuzzRulesJSON$$' -fuzztime=$(FUZZTIME) ./internal/obs/monitor/
 
 # Coverage gate: repo-wide statement coverage must stay at or above
 # COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.
@@ -70,3 +81,16 @@ cover:
 bench-par:
 	$(GO) run ./cmd/odrl-bench -bench-par BENCH_par.json
 	$(GO) test -run=- -bench='BenchmarkStepParallel|BenchmarkStepSequential|BenchmarkSweepParallel' -benchtime=1s .
+
+# Monitoring-off-vs-on wall-clock comparison: writes BENCH_monitor.json and
+# fails if any case's epoch-loop overhead exceeds MONITOR_OVERHEAD_MAX %.
+bench-monitor:
+	$(GO) run ./cmd/odrl-bench -bench-monitor BENCH_monitor.json
+	@awk -v max="$(MONITOR_OVERHEAD_MAX)" ' \
+		/"overhead_frac"/ { \
+			v = $$0; sub(/.*"overhead_frac":[ \t]*/, "", v); sub(/[,}].*/, "", v); \
+			pct = 100 * v; \
+			if (pct > max + 0) { printf "monitor overhead %.2f%% exceeds %.1f%% ceiling\n", pct, max; bad = 1 } \
+			else { printf "monitor overhead %.2f%% (ceiling %.1f%%)\n", pct, max } \
+		} \
+		END { exit bad }' BENCH_monitor.json

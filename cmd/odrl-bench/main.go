@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 )
 
@@ -35,11 +36,15 @@ func main() {
 		workers     = flag.Int("j", 0, "worker goroutines for run fan-out and chip sharding (0 = one per CPU, 1 = sequential); results are identical for any value")
 		faultSpec   = flag.String("fault-plan", "", "inject faults into every run: an intensity in [0,1] for the canonical plan, or a plan JSON file path (F18 sweeps its own plans)")
 		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
+		benchMon    = flag.String("bench-monitor", "", "measure monitoring-off-vs-on wall clock and write a JSON report (e.g. BENCH_monitor.json) to this file, then exit")
 		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
 		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
 		traceEvery  = flag.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address for live profiling")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address for live profiling")
+		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,31 @@ func main() {
 		return
 	}
 
+	if *benchMon != "" {
+		rep, err := experiments.BenchMonitor()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchMon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		werr := rep.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cases {
+			fmt.Printf("%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
+				c.Name, c.Epochs, c.OffS, c.OnS, 100*c.OverheadFrac)
+		}
+		fmt.Printf("report written to %s (%d CPUs)\n", *benchMon, rep.HostCPUs)
+		return
+	}
+
 	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
@@ -77,6 +107,15 @@ func main() {
 	// Experiments assemble runs internally, so the tracer hooks in through
 	// the harness-level default observer.
 	sim.DefaultObserver = ocli.Observer()
+	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(1)
+	}
+	defer mcli.Close(os.Stderr)
+	if mcli != nil {
+		sim.DefaultMonitor = mcli.Monitor
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -35,7 +36,10 @@ func main() {
 		workers     = flag.Int("j", 0, "worker goroutines fanning sweep points out and sharding large chips (0 = one per CPU, 1 = sequential); rows are identical for any value")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file")
 		traceEvery  = flag.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address")
+		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
 	)
 	flag.Parse()
 
@@ -45,6 +49,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer ocli.Close()
+	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+		os.Exit(1)
+	}
+	defer mcli.Close(os.Stderr)
+	if mcli != nil {
+		sim.DefaultMonitor = mcli.Monitor
+	}
 
 	// Parse and validate every sweep value up front so a bad -values entry
 	// or unknown -param exits immediately, before any expensive simulation

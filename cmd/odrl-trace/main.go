@@ -16,6 +16,8 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -37,7 +39,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dur       = fs.Float64("dur", 5, "trace duration in seconds")
 		seed      = fs.Uint64("seed", 1, "random seed")
 		out       = fs.String("o", "", "output file (default stdout)")
-		debugAddr = fs.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address")
+		monitorOn = fs.Bool("monitor", false, "enable the run-health monitor (only meaningful with a mode that runs simulation epochs)")
+		alertRule = fs.String("alert-rules", "", "alert rules JSON file (implies -monitor)")
+		perfetto  = fs.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +83,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	defer ocli.Close()
+	// Trace recording itself runs no simulation epochs, but the monitor flags
+	// are accepted everywhere for a uniform CLI surface: rules files are
+	// validated, the debug server gains /metrics, /debug/live and
+	// /debug/timeline, and any future sim-running mode picks the monitor up
+	// through sim.DefaultMonitor.
+	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRule, *perfetto)
+	if err != nil {
+		return fail(err)
+	}
+	defer mcli.Close(stderr)
+	if mcli != nil {
+		sim.DefaultMonitor = mcli.Monitor
+	}
 
 	switch {
 	case *list:

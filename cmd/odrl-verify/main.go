@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 )
 
@@ -21,7 +22,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override random seed")
 	traceEvents := flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
 	traceEvery := flag.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address")
+	monitorOn := flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+	alertRules := flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+	perfetto := flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
 	flag.Parse()
 
 	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
@@ -31,6 +35,15 @@ func main() {
 	}
 	defer ocli.Close()
 	sim.DefaultObserver = ocli.Observer()
+	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
+		os.Exit(1)
+	}
+	defer mcli.Close(os.Stderr)
+	if mcli != nil {
+		sim.DefaultMonitor = mcli.Monitor
+	}
 
 	cfg := experiments.Default()
 	cfg.Quick = *quick

@@ -19,6 +19,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/plot"
 	"repro/internal/sim"
 )
@@ -42,7 +43,10 @@ func main() {
 		faultSpec   = flag.String("fault-plan", "", "inject faults: an intensity in [0,1] for the canonical plan, or a plan JSON file path (see internal/fault)")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
 		traceEvery  = flag.Int("trace-every", 1, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
+		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,15 @@ func main() {
 	defer ocli.Close()
 	// Observe runs built anywhere below (flag path and -config path alike).
 	sim.DefaultObserver = ocli.Observer()
+	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl:", err)
+		os.Exit(1)
+	}
+	defer mcli.Close(os.Stderr)
+	if mcli != nil {
+		sim.DefaultMonitor = mcli.Monitor
+	}
 
 	// logRunConfig makes a run reproducible from stderr alone.
 	logRunConfig := func(opts sim.Options) {
@@ -149,6 +162,10 @@ func main() {
 	}
 	if !*csvOut {
 		if err := sim.WritePhaseTable(os.Stdout, results); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(1)
+		}
+		if err := ocli.WriteDecideQuantiles(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "odrl:", err)
 			os.Exit(1)
 		}

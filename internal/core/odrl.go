@@ -507,7 +507,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 			out[i] = c.decideCore(i, tel, c.xScratch)
 		}
 	}
-	c.phases.Observe(spanLocal, time.Since(localStart))
+	c.phases.ObserveSince(spanLocal, localStart)
 	c.started = true
 	c.epoch++
 
@@ -527,7 +527,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 	if !c.cfg.DisableRealloc && c.epoch%c.cfg.FineEpochsPerRealloc == 0 {
 		globalStart := time.Now()
 		c.reallocate(tel, budgetW)
-		c.phases.Observe(spanGlobal, time.Since(globalStart))
+		c.phases.ObserveSince(spanGlobal, globalStart)
 	}
 }
 
@@ -536,6 +536,10 @@ func (c *Controller) PhaseTimes() []obs.PhaseTime { return c.phases.Snapshot() }
 
 // ResetPhaseTimes implements ctrl.PhaseProfiler.
 func (c *Controller) ResetPhaseTimes() { c.phases.Reset() }
+
+// SetSpanSink implements ctrl.SpanStreamer: phase spans stream to s as
+// they complete (nil detaches).
+func (c *Controller) SetSpanSink(s obs.SpanSink) { c.phases.SetSink(s) }
 
 // reallocPower returns the power view the reallocation pass acts on.
 func (c *Controller) reallocPower(tel *manycore.Telemetry, i int) float64 {
@@ -759,7 +763,7 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 // scatters budgets, so its cost is amortised by K.
 func (c *Controller) CommPerEpoch(m *noc.Mesh) noc.Cost {
 	commStart := time.Now()
-	defer func() { c.phases.Observe(spanComm, time.Since(commStart)) }()
+	defer func() { c.phases.ObserveSince(spanComm, commStart) }()
 	if c.cfg.DisableRealloc {
 		return noc.Cost{}
 	}

@@ -45,6 +45,16 @@ type PhaseProfiler interface {
 	ResetPhaseTimes()
 }
 
+// SpanStreamer is optionally implemented by controllers that can stream
+// their phase spans (start + duration) to an obs.SpanSink as they happen,
+// on top of the aggregate totals PhaseProfiler reports. The harness
+// attaches the run-health monitor's timeline here and detaches it (nil)
+// when the run ends; implementations must treat a nil sink as "off".
+type SpanStreamer interface {
+	// SetSpanSink installs (or, with nil, removes) the span sink.
+	SetSpanSink(s obs.SpanSink)
+}
+
 // Predictor turns one core's observed telemetry into power and performance
 // estimates at other VF levels, exactly the model a MaxBIPS-class manager
 // builds from performance counters. Its error on abrupt phase changes —

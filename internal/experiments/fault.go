@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs/monitor"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -32,7 +33,18 @@ func F18FaultIntensity(cfg Config) (Table, error) {
 	}
 	nn := len(names)
 
-	summaries, err := par.MapErr(cfg.Workers, len(intensities)*nn, func(i int) (metrics.Summary, error) {
+	// Each run carries its own run-health monitor so the figure reports the
+	// injected-fault and fired-alert counts next to the throughput columns.
+	// Monitoring is read-only, so the metric columns are unchanged by it,
+	// and both counts are deterministic: the fault stream is seeded, and
+	// the deterministic rule subset (no wall-clock decide-latency rules) is
+	// a pure function of the epoch stream.
+	type faultRun struct {
+		s      metrics.Summary
+		faults int
+		alerts int
+	}
+	runs, err := par.MapErr(cfg.Workers, len(intensities)*nn, func(i int) (faultRun, error) {
 		x, name := intensities[i/nn], names[i%nn]
 		opts := cfg.runOpts()
 		opts.FaultPlan = nil // this figure owns the plan axis
@@ -40,19 +52,24 @@ func F18FaultIntensity(cfg Config) (Table, error) {
 			p := fault.Scaled(x)
 			opts.FaultPlan = &p
 		}
+		mon := monitor.New(monitor.Options{
+			Rules: monitor.DeterministicDefaultRules(opts.BudgetW, opts.EpochS),
+		})
+		opts.Monitor = mon
 		env, err := sim.EnvFor(opts)
 		if err != nil {
-			return metrics.Summary{}, err
+			return faultRun{}, err
 		}
 		c, err := sim.NewController(name, env)
 		if err != nil {
-			return metrics.Summary{}, err
+			return faultRun{}, err
 		}
 		res, err := sim.Run(opts, c)
 		if err != nil {
-			return metrics.Summary{}, err
+			return faultRun{}, err
 		}
-		return res.Summary, nil
+		h := mon.Runs()[0]
+		return faultRun{s: res.Summary, faults: h.Faults, alerts: h.AlertCount}, nil
 	})
 	if err != nil {
 		return Table{}, err
@@ -61,16 +78,18 @@ func F18FaultIntensity(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F18",
 		Title:  fmt.Sprintf("graceful degradation under fault injection at %.0f W (extension)", cfg.BudgetW),
-		Header: []string{"intensity", "controller", "BIPS", "retention", "mean(W)", "over(J)", "over-time(s)"},
+		Header: []string{"intensity", "controller", "BIPS", "retention", "mean(W)", "over(J)", "over-time(s)", "faults", "alerts"},
 		Notes: []string{
 			"canonical plan fault.Scaled(x): stuck sensors, meter bias+drift, blackouts, dropped/clamped actuation, dead cores, cap transients",
 			"retention: BIPS relative to the same controller's fault-free run",
+			"faults/alerts: injected fault events and run-health alerts fired by the default claim-invariant rules (obs/monitor)",
 		},
 	}
 	for xi, x := range intensities {
 		for ni := range names {
-			s := summaries[xi*nn+ni]
-			base := summaries[ni] // intensity 0 row for this controller
+			r := runs[xi*nn+ni]
+			s := r.s
+			base := runs[ni].s // intensity 0 row for this controller
 			retention := 0.0
 			if base.BIPS() > 0 {
 				retention = s.BIPS() / base.BIPS()
@@ -78,6 +97,7 @@ func F18FaultIntensity(cfg Config) (Table, error) {
 			t.Rows = append(t.Rows, []string{
 				cell(x), s.Controller, cell(s.BIPS()), cell(retention),
 				cell(s.MeanW), cell(s.OverJ), cell(s.OverTimeS),
+				fmt.Sprintf("%d", r.faults), fmt.Sprintf("%d", r.alerts),
 			})
 		}
 	}

@@ -63,6 +63,24 @@ func (c *CLI) Observer() Observer {
 	return c.Tracer
 }
 
+// WriteDecideQuantiles renders the decide-latency distribution collected
+// by the tracer's obs.trace.decide_ns histogram — p50/p95/p99 via
+// HistogramSnapshot.Quantile, a strictly more honest companion to the
+// mean-based phase-breakdown table (tail latency is what the real-time
+// feasibility claim is about). Writes nothing when no samples were traced.
+func (c *CLI) WriteDecideQuantiles(w io.Writer) error {
+	if c.Registry == nil {
+		return nil
+	}
+	h, ok := c.Registry.Snapshot().Histograms["obs.trace.decide_ns"]
+	if !ok || h.Count == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "\ndecide latency (us): p50 %.1f  p95 %.1f  p99 %.1f  mean %.1f  (n=%d)\n",
+		h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3, h.Mean()/1e3, h.Count)
+	return err
+}
+
 // Close flushes the tracer and stops the debug server.
 func (c *CLI) Close() error {
 	var first error

@@ -18,6 +18,9 @@ func FuzzReadRecords(f *testing.F) {
 	if fo, ok := run.(FaultObserver); ok {
 		fo.ObserveFault(&FaultEvent{Epoch: 0, Kind: "core_dead", Core: 2})
 	}
+	if ao, ok := run.(AlertObserver); ok {
+		ao.ObserveAlert(&AlertEvent{Epoch: 3, Rule: "sustained-overshoot", Metric: "overshoot_w", Op: ">", Threshold: 1, Value: 2, ForEpochs: 2})
+	}
 	run.End()
 	if err := tr.Close(); err != nil {
 		f.Fatal(err)
@@ -25,12 +28,13 @@ func FuzzReadRecords(f *testing.F) {
 	f.Add(emitted.String())
 	f.Add(`{"type":"run_start","run":1}`)
 	f.Add(`{"type":"fault","run":1,"kind":"blackout","core":-1}`)
+	f.Add(`{"type":"alert","run":1,"rule":"nan-telemetry","op":"nonfinite"}`)
 	f.Add(`{"type":"mystery","run":1}`)
 	f.Add(`{"type":"epoch","run":"not-a-number"}`)
 	f.Add(`{}` + "\n" + `{"type":"run_end","run":1}`)
 	f.Add("not json\n")
 
-	valid := map[string]bool{"run_start": true, "epoch": true, "fault": true, "run_end": true}
+	valid := map[string]bool{"run_start": true, "epoch": true, "fault": true, "alert": true, "run_end": true}
 	f.Fuzz(func(t *testing.T, data string) {
 		recs, err := ReadRecords(strings.NewReader(data))
 		if err != nil {

@@ -1,0 +1,82 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// CLI owns the run-health resources a command wires up from its flags: the
+// monitor itself, plus an optional Perfetto trace file written on Close.
+type CLI struct {
+	Monitor *Monitor
+
+	perfettoPath string
+}
+
+// StartCLI builds the standard command wiring for the -monitor,
+// -alert-rules and -perfetto flags. Monitoring is enabled when any of them
+// is set; otherwise StartCLI returns nil and the run carries zero
+// monitoring cost. rulesPath "" derives DefaultRules from each run's own
+// budget and epoch length. When ocli carries a debug server, the live
+// surfaces are attached to it: /debug/live (SSE), /debug/timeline
+// (Perfetto JSON) and /debug/health (JSON health snapshot); /metrics is
+// served by the debug server itself.
+func StartCLI(ocli *obs.CLI, monitorOn bool, rulesPath, perfettoPath string) (*CLI, error) {
+	if !monitorOn && rulesPath == "" && perfettoPath == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	if rulesPath != "" {
+		f, err := os.Open(rulesPath)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: rules file: %w", err)
+		}
+		rules, err = LoadRules(f)
+		f.Close() //nolint:errcheck // read-only
+		if err != nil {
+			return nil, err
+		}
+	}
+	var reg *obs.Registry
+	if ocli != nil {
+		reg = ocli.Registry
+	}
+	m := New(Options{Rules: rules, Registry: reg})
+	if ocli != nil && ocli.Debug != nil {
+		ocli.Debug.Handle("/debug/live", m.LiveHandler())
+		ocli.Debug.Handle("/debug/timeline", m.TimelineHandler())
+		ocli.Debug.Handle("/debug/health", m.HealthHandler())
+	}
+	return &CLI{Monitor: m, perfettoPath: perfettoPath}, nil
+}
+
+// Close writes the Perfetto trace file when one was requested and renders
+// the run-health summary to w (commonly stderr, keeping stdout tables
+// clean). Nil-safe so callers can defer it unconditionally.
+func (c *CLI) Close(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	if c.perfettoPath != "" {
+		f, err := os.Create(c.perfettoPath)
+		if err == nil {
+			err = c.Monitor.Timeline().WriteTraceJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			first = fmt.Errorf("monitor: perfetto trace: %w", err)
+		}
+	}
+	if w != nil {
+		if err := c.Monitor.WriteAlertSummary(w); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,35 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRulesJSON drives the strict alert-rules decoder with arbitrary
+// bytes: it must never panic, and anything it accepts must survive
+// engine compilation (the Validate contract) and re-loading.
+func FuzzRulesJSON(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"hot","metric":"max_temp_k","op":">","threshold":360,"for_epochs":5}]`))
+	f.Add([]byte(`[{"name":"nan","metric":"power_w","op":"nonfinite"}]`))
+	f.Add([]byte(`[{"name":"a","metric":"ips","op":"<","threshold":-1}]`))
+	f.Add([]byte(`[{"name":"a","metric":"ips","op":">","treshold":1}]`))
+	f.Add([]byte(`[] trailing`))
+	f.Add([]byte(`{"not":"an array"}`))
+	f.Add([]byte(`[{"name":"a","metric":"ips","op":">","threshold":1e999}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rules, err := LoadRules(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted rule sets must be fully usable.
+		if _, err := newEngine(rules); err != nil {
+			t.Fatalf("LoadRules accepted rules the engine rejects: %v", err)
+		}
+		for _, r := range rules {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("LoadRules returned invalid rule %+v: %v", r, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLoadRules(t *testing.T) {
+	rules, err := LoadRules(strings.NewReader(`[
+		{"name": "hot", "metric": "max_temp_k", "op": ">", "threshold": 360, "for_epochs": 5},
+		{"name": "nan", "metric": "power_w", "op": "nonfinite"}
+	]`))
+	if err != nil {
+		t.Fatalf("LoadRules: %v", err)
+	}
+	if len(rules) != 2 || rules[0].Name != "hot" || rules[1].Op != OpNonfinite {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestLoadRulesRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `[{"name": "a", "metric": "ips", "op": ">", "treshold": 1}]`,
+		"unknown metric": `[{"name": "a", "metric": "wattage", "op": ">"}]`,
+		"unknown op":     `[{"name": "a", "metric": "ips", "op": "~="}]`,
+		"empty name":     `[{"metric": "ips", "op": ">"}]`,
+		"negative for":   `[{"name": "a", "metric": "ips", "op": ">", "for_epochs": -1}]`,
+		"trailing data":  `[] {"x": 1}`,
+		"not an array":   `{"name": "a"}`,
+	}
+	for label, in := range cases {
+		if _, err := LoadRules(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: LoadRules accepted %q", label, in)
+		}
+	}
+}
+
+func TestDefaultRulesValidate(t *testing.T) {
+	for _, r := range DefaultRules(90, 1e-3) {
+		if err := r.Validate(); err != nil {
+			t.Errorf("default rule %q invalid: %v", r.Name, err)
+		}
+	}
+	// A zero epoch length must still produce a usable latency bound.
+	for _, r := range DefaultRules(0, 0) {
+		if err := r.Validate(); err != nil {
+			t.Errorf("degenerate default rule %q invalid: %v", r.Name, err)
+		}
+	}
+}
+
+func TestDeterministicDefaultRulesExcludeWallClock(t *testing.T) {
+	det := DeterministicDefaultRules(90, 1e-3)
+	if len(det) == 0 {
+		t.Fatal("no deterministic rules")
+	}
+	for _, r := range det {
+		if wallClockMetrics[r.Metric] {
+			t.Errorf("rule %q uses wall-clock metric %q", r.Name, r.Metric)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("rule %q invalid: %v", r.Name, err)
+		}
+	}
+	if len(det) >= len(DefaultRules(90, 1e-3)) {
+		t.Fatal("deterministic set did not drop the decide-latency rule")
+	}
+}
+
+// evalSeq runs the engine over a metric sequence for one metric, returning
+// the epochs at which alerts fired.
+func evalSeq(t *testing.T, rule Rule, metricIdx int, seq []float64) []int {
+	t.Helper()
+	eng, err := newEngine([]Rule{rule})
+	if err != nil {
+		t.Fatalf("newEngine: %v", err)
+	}
+	var fired []int
+	var frame [nFrameMetrics]float64
+	for e, v := range seq {
+		frame[metricIdx] = v
+		eng.eval(&frame, e, float64(e), func(ev *obs.AlertEvent) {
+			fired = append(fired, ev.Epoch)
+		})
+	}
+	return fired
+}
+
+func TestEngineConsecutiveEpochsAndRearm(t *testing.T) {
+	rule := Rule{Name: "hot", Metric: MetricMaxTempK, Op: OpGT, Threshold: 10, ForEpochs: 3}
+	idx := ruleMetricIndex[MetricMaxTempK]
+
+	// Holds 2, breaks, holds 3 → fires once at the third consecutive epoch.
+	fired := evalSeq(t, rule, idx, []float64{11, 11, 0, 11, 11, 11, 11, 11})
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("fired at %v, want [5]", fired)
+	}
+
+	// Fire, break, hold again → re-arms and fires a second time.
+	fired = evalSeq(t, rule, idx, []float64{11, 11, 11, 0, 11, 11, 11})
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 6 {
+		t.Fatalf("fired at %v, want [2 6]", fired)
+	}
+
+	// Sustained violation fires exactly once, not once per epoch.
+	fired = evalSeq(t, rule, idx, []float64{11, 11, 11, 11, 11, 11, 11, 11, 11})
+	if len(fired) != 1 {
+		t.Fatalf("sustained violation fired %d times, want 1", len(fired))
+	}
+}
+
+func TestEngineOps(t *testing.T) {
+	idx := ruleMetricIndex[MetricIPS]
+	cases := []struct {
+		op    string
+		thr   float64
+		v     float64
+		fires bool
+	}{
+		{OpGT, 5, 6, true}, {OpGT, 5, 5, false},
+		{OpGE, 5, 5, true}, {OpGE, 5, 4, false},
+		{OpLT, 5, 4, true}, {OpLT, 5, 5, false},
+		{OpLE, 5, 5, true}, {OpLE, 5, 6, false},
+		{OpNonfinite, 0, math.NaN(), true},
+		{OpNonfinite, 0, math.Inf(1), true},
+		{OpNonfinite, 0, 1e300, false},
+	}
+	for _, c := range cases {
+		rule := Rule{Name: "r", Metric: MetricIPS, Op: c.op, Threshold: c.thr, ForEpochs: 1}
+		fired := evalSeq(t, rule, idx, []float64{c.v})
+		if (len(fired) > 0) != c.fires {
+			t.Errorf("%g %s %g: fired=%v, want %v", c.v, c.op, c.thr, len(fired) > 0, c.fires)
+		}
+	}
+}
+
+func TestEngineRejectsInvalidRules(t *testing.T) {
+	if _, err := newEngine([]Rule{{Name: "bad", Metric: "nope", Op: OpGT}}); err == nil {
+		t.Fatal("newEngine accepted an unknown metric")
+	}
+}

@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSeriesNoDecimationBelowCap(t *testing.T) {
+	s := NewSeries("x", 16)
+	for i := 0; i < 16; i++ {
+		s.Append(float64(i))
+	}
+	snap := s.snapshot()
+	if snap.Stride != 1 || len(snap.Values) != 16 || snap.Epochs != 16 {
+		t.Fatalf("snapshot = stride %d, %d vals, %d epochs; want 1, 16, 16",
+			snap.Stride, len(snap.Values), snap.Epochs)
+	}
+	for i, v := range snap.Values {
+		if v != float64(i) {
+			t.Fatalf("Values[%d] = %g, want %g", i, v, float64(i))
+		}
+	}
+}
+
+func TestSeriesDecimation(t *testing.T) {
+	const capacity = 16
+	s := NewSeries("x", capacity)
+	const epochs = 1000
+	for i := 0; i < epochs; i++ {
+		s.Append(float64(i))
+	}
+	snap := s.snapshot()
+	if len(snap.Values) > capacity {
+		t.Fatalf("series grew past cap: %d > %d", len(snap.Values), capacity)
+	}
+	if snap.Epochs != epochs {
+		t.Fatalf("Epochs = %d, want %d", snap.Epochs, epochs)
+	}
+	// Stride must be a power of two and every retained point a genuine
+	// observation from its claimed epoch (value == epoch index here).
+	if snap.Stride&(snap.Stride-1) != 0 {
+		t.Fatalf("stride %d not a power of two", snap.Stride)
+	}
+	for i, v := range snap.Values {
+		if want := float64(i * snap.Stride); v != want {
+			t.Fatalf("Values[%d] = %g, want epoch value %g (stride %d)", i, v, want, snap.Stride)
+		}
+	}
+	// Retained points must span most of the run, not just its start.
+	last := (len(snap.Values) - 1) * snap.Stride
+	if last < epochs/2 {
+		t.Fatalf("last retained epoch %d does not cover the run (%d epochs)", last, epochs)
+	}
+}
+
+func TestStoreAppendSnapshotGet(t *testing.T) {
+	st := NewStore(8)
+	var vals [len(storeMetrics)]float64
+	for e := 0; e < 5; e++ {
+		for i := range vals {
+			vals[i] = float64(100*i + e)
+		}
+		st.Append(&vals)
+	}
+	snaps := st.Snapshot()
+	if len(snaps) != len(storeMetrics) {
+		t.Fatalf("got %d series, want %d", len(snaps), len(storeMetrics))
+	}
+	for i, snap := range snaps {
+		if snap.Name != storeMetrics[i] {
+			t.Fatalf("series %d named %q, want %q", i, snap.Name, storeMetrics[i])
+		}
+		if len(snap.Values) != 5 || snap.Values[4] != float64(100*i+4) {
+			t.Fatalf("series %q = %v", snap.Name, snap.Values)
+		}
+	}
+	got, err := st.Get(MetricIPS)
+	if err != nil {
+		t.Fatalf("Get(ips): %v", err)
+	}
+	if got.Values[0] != 200 {
+		t.Fatalf("ips[0] = %g, want 200", got.Values[0])
+	}
+	if _, err := st.Get("no-such-series"); err == nil {
+		t.Fatal("Get(unknown) succeeded")
+	}
+}
+
+// TestStoreConcurrentReadWrite hammers one store from a writer and several
+// snapshot readers; run with -race this is the monitor-store race check
+// wired into make ci.
+func TestStoreConcurrentReadWrite(t *testing.T) {
+	st := NewStore(32)
+	const epochs = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, snap := range st.Snapshot() {
+					_ = snap.Values
+				}
+				_, _ = st.Get(MetricPowerW)
+			}
+		}()
+	}
+	var vals [len(storeMetrics)]float64
+	for e := 0; e < epochs; e++ {
+		for i := range vals {
+			vals[i] = float64(e)
+		}
+		st.Append(&vals)
+	}
+	close(stop)
+	wg.Wait()
+	if got := st.Snapshot()[0].Epochs; got != epochs {
+		t.Fatalf("writer recorded %d epochs, want %d", got, epochs)
+	}
+}

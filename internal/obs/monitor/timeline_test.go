@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTimelineRingOverwrite(t *testing.T) {
+	tl := NewTimeline(16)
+	for i := 0; i < 40; i++ {
+		tl.RecordSpan("local", int64(i*100), 50)
+	}
+	if tl.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", tl.Total())
+	}
+	spans := tl.spans()
+	if len(spans) != 16 {
+		t.Fatalf("retained %d spans, want 16", len(spans))
+	}
+	// The ring keeps the most recent window, in chronological order.
+	for i, sp := range spans {
+		if want := int64((24 + i) * 100); sp.StartNs != want {
+			t.Fatalf("spans[%d].StartNs = %d, want %d", i, sp.StartNs, want)
+		}
+	}
+}
+
+// TestWriteTraceJSONSchema checks the export against the trace-event JSON
+// schema Perfetto and chrome://tracing load: a traceEvents array whose "X"
+// entries carry name/ph/ts/dur/pid/tid with microsecond timestamps, plus
+// one "M" thread_name metadata record per track.
+func TestWriteTraceJSONSchema(t *testing.T) {
+	tl := NewTimeline(64)
+	tl.RecordSpan("local", 1_000_000, 2_000)  // 1ms in, 2µs long
+	tl.RecordSpan("global", 1_500_000, 4_000) // 1.5ms in, 4µs long
+	tl.RecordSpan("local", 2_000_000, 2_500)
+
+	var buf bytes.Buffer
+	if err := tl.WriteTraceJSON(&buf); err != nil {
+		t.Fatalf("WriteTraceJSON: %v", err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var meta, complete int
+	tracks := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" || ev.Args["name"] == "" {
+				t.Fatalf("bad metadata event %+v", ev)
+			}
+			tracks[ev.Args["name"].(string)] = ev.Tid
+		case "X":
+			complete++
+			if ev.Dur <= 0 || ev.Ts < 0 || ev.Pid == 0 || ev.Tid == 0 {
+				t.Fatalf("bad complete event %+v", ev)
+			}
+			if tid, ok := tracks[ev.Name]; !ok || tid != ev.Tid {
+				t.Fatalf("event %q on tid %d, track table %v", ev.Name, ev.Tid, tracks)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("got %d metadata + %d complete events, want 2 + 3", meta, complete)
+	}
+	// Timestamps rebased to the first span and converted ns → µs.
+	first := f.TraceEvents[1] // events follow their track's metadata record
+	if first.Ph != "X" || first.Ts != 0 || first.Dur != 2 {
+		t.Fatalf("first complete event = %+v, want ts 0 dur 2", first)
+	}
+}
+
+func TestWriteTraceJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTimeline(16).WriteTraceJSON(&buf); err != nil {
+		t.Fatalf("WriteTraceJSON: %v", err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if evs, ok := f["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("empty timeline exported %v", f["traceEvents"])
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"obs.trace.decide_ns": "obs_trace_decide_ns",
+		"run-health/alerts":   "run_health_alerts",
+		"9lives":              "_9lives",
+		"ok_name:sub":         "ok_name:sub",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// checkExposition is a minimal validity parser for the text exposition
+// format: every non-comment line must be `name[{labels}] value` with a
+// parseable value, and every sample must be preceded by a TYPE line for
+// its family.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: unparseable value %q: %v", ln+1, val, err)
+			}
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, name)
+			}
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam, ok := strings.CutSuffix(name, suffix); ok && typed[fam] {
+				family = fam
+				break
+			}
+		}
+		if !typed[family] {
+			t.Fatalf("line %d: sample %q has no preceding TYPE line", ln+1, name)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("obs.trace.runs").Add(3)
+	r.Gauge("monitor.power_w").Set(88.5)
+	h, err := r.Histogram("obs.trace.decide_ns", []float64{1e3, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(500)
+	h.Observe(2000)
+	h.Observe(5e7) // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	checkExposition(t, body)
+
+	for _, want := range []string{
+		"# TYPE obs_trace_runs counter\nobs_trace_runs 3\n",
+		"monitor_power_w 88.5",
+		`obs_trace_decide_ns_bucket{le="1000"} 1`,
+		`obs_trace_decide_ns_bucket{le="1e+06"} 2`,
+		`obs_trace_decide_ns_bucket{le="+Inf"} 3`,
+		"obs_trace_decide_ns_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}

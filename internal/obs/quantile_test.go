@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	s := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%g) on empty histogram = %g, want 0", q, got)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on zero-value snapshot = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h, err := NewHistogram([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	s := h.snapshot()
+	// All mass in [0,10]: the quantile interpolates linearly across it.
+	if got := s.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 5", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("p100 = %g, want 10", got)
+	}
+	if got := s.Quantile(-1); got < 0 || got > 10 {
+		t.Fatalf("clamped q<0 out of bucket range: %g", got)
+	}
+}
+
+func TestQuantileOverflowAndInfBucket(t *testing.T) {
+	// Observations beyond the last bound land in the overflow bucket; the
+	// estimate saturates at the last finite bound instead of inventing
+	// values past what the histogram can resolve.
+	h, err := NewHistogram([]float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1e6)
+	}
+	if got := h.snapshot().Quantile(0.99); got != 10 {
+		t.Fatalf("overflow p99 = %g, want saturation at 10", got)
+	}
+
+	// An explicit +Inf last bound behaves the same way.
+	hInf, err := NewHistogram([]float64{1, 10, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		hInf.Observe(1e6)
+	}
+	if got := hInf.snapshot().Quantile(0.99); got != 10 {
+		t.Fatalf("+Inf-bucket p99 = %g, want saturation at 10", got)
+	}
+	// Degenerate single +Inf bucket: nothing resolvable, estimate is 0.
+	hOnly, err := NewHistogram([]float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOnly.Observe(42)
+	if got := hOnly.snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("single +Inf bucket p50 = %g, want 0", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h, err := NewHistogram([]float64{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i * 3)) // 0..297, ~uniform over the three buckets
+	}
+	s := h.snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 150, 10},
+		{0.95, 285, 10},
+		{0.99, 297, 10},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	// Monotonic in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotonic at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}

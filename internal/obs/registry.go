@@ -105,6 +105,59 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the q·Count-th observation, assuming values
+// spread uniformly inside each bucket. The first bucket interpolates from
+// zero (bounds here are non-negative measurements: latencies, watts). A
+// rank landing in the overflow bucket returns the last finite bound — the
+// histogram cannot resolve beyond it, so the estimate saturates rather
+// than invent mass at +Inf. Empty histograms return 0; q outside [0,1] is
+// clamped.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen float64
+	for i, c := range s.Counts {
+		if c <= 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			if i >= len(s.Bounds) {
+				// Overflow bucket: unbounded above, saturate at the last
+				// finite bound.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			hi := s.Bounds[i]
+			if math.IsInf(hi, 1) {
+				// An explicit +Inf bound behaves like the overflow bucket.
+				if i == 0 {
+					return 0
+				}
+				return s.Bounds[i-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - seen) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),

@@ -37,6 +37,9 @@ type EpochEvent struct {
 	LevelHist []int `json:"level_hist,omitempty"`
 	// DecideNs is the wall-clock controller decision latency this epoch.
 	DecideNs int64 `json:"decide_ns"`
+	// IPS is the chip-wide observed instruction throughput (sum of per-core
+	// sensor readings), the per-epoch form of the BIPS the tables report.
+	IPS float64 `json:"ips,omitempty"`
 }
 
 // FaultEvent is one discrete injected fault (core death, telemetry
@@ -61,10 +64,35 @@ type FaultObserver interface {
 	ObserveFault(ev *FaultEvent)
 }
 
+// AlertEvent is one fired run-health alert: a declarative rule (see
+// internal/obs/monitor) whose condition held for its full ForEpochs
+// window. Epoch counts from zero at the start of the measurement window.
+type AlertEvent struct {
+	Epoch int     `json:"epoch"`
+	TimeS float64 `json:"time_s"`
+	// Rule is the fired rule's name, Metric/Op/Threshold its condition.
+	Rule      string  `json:"rule"`
+	Metric    string  `json:"metric"`
+	Op        string  `json:"op"`
+	Threshold float64 `json:"threshold"`
+	// Value is the metric value at the epoch the alert fired.
+	Value float64 `json:"value"`
+	// ForEpochs is how many consecutive epochs the condition held before
+	// firing.
+	ForEpochs int `json:"for_epochs"`
+}
+
+// AlertObserver is optionally implemented by RunObservers that want fired
+// alerts in the run's stream. Like faults, alerts are rare and delivered
+// unconditionally.
+type AlertObserver interface {
+	ObserveAlert(ev *AlertEvent)
+}
+
 // Record is one decoded JSONL trace line. Type selects which of the other
 // fields are meaningful.
 type Record struct {
-	Type string `json:"type"` // "run_start" | "epoch" | "fault" | "run_end"
+	Type string `json:"type"` // "run_start" | "epoch" | "fault" | "alert" | "run_end"
 	Run  int64  `json:"run"`
 	// Meta is valid for run_start records.
 	Meta RunMeta `json:"-"`
@@ -72,6 +100,8 @@ type Record struct {
 	Event EpochEvent `json:"-"`
 	// Fault is valid for fault records.
 	Fault FaultEvent `json:"-"`
+	// Alert is valid for alert records.
+	Alert AlertEvent `json:"-"`
 	// Epochs and Sampled are valid for run_end records.
 	Epochs  int `json:"epochs,omitempty"`
 	Sampled int `json:"sampled,omitempty"`
@@ -95,6 +125,12 @@ type faultRec struct {
 	Type string `json:"type"`
 	Run  int64  `json:"run"`
 	FaultEvent
+}
+
+type alertRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	AlertEvent
 }
 
 type runEndRec struct {
@@ -158,6 +194,17 @@ type RunObserver interface {
 	ShouldSample(epoch int) bool
 	ObserveEpoch(ev *EpochEvent)
 	End()
+}
+
+// EpochDetailSampler is an optional RunObserver refinement for observers
+// that sample every epoch but only need the expensive aggregate fields
+// (IslandPowerW, LevelHist) on some of them. When a RunObserver implements
+// it, the harness calls WantsEpochDetail after a true ShouldSample (same
+// epoch, same goroutine) and on false delivers the event with those slices
+// nil; the scalar fields are always populated. Observers that don't
+// implement it get full detail on every sampled epoch.
+type EpochDetailSampler interface {
+	WantsEpochDetail(epoch int) bool
 }
 
 // Nop returns an Observer whose runs sample nothing — the reference
@@ -282,6 +329,11 @@ func (r *runTracer) ObserveFault(ev *FaultEvent) {
 	r.t.emit(faultRec{Type: "fault", Run: r.id, FaultEvent: *ev})
 }
 
+// ObserveAlert implements AlertObserver.
+func (r *runTracer) ObserveAlert(ev *AlertEvent) {
+	r.t.emit(alertRec{Type: "alert", Run: r.id, AlertEvent: *ev})
+}
+
 // End implements RunObserver.
 func (r *runTracer) End() {
 	r.t.emit(runEndRec{
@@ -322,6 +374,10 @@ func ReadRecords(rd io.Reader) ([]Record, error) {
 			}
 		case "fault":
 			if err := json.Unmarshal(raw, &rec.Fault); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "alert":
+			if err := json.Unmarshal(raw, &rec.Alert); err != nil {
 				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 			}
 		case "run_end":

@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/manycore"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 )
 
 // DefaultObserver, when non-nil, observes every run whose Options.Observer
@@ -12,26 +13,37 @@ import (
 // while simulations run is racy.
 var DefaultObserver obs.Observer
 
+// DefaultMonitor, when non-nil, monitors every run whose Options.Monitor
+// is nil — the run-health counterpart of DefaultObserver, and wired the
+// same way: set once at process startup by CLIs.
+var DefaultMonitor *monitor.Monitor
+
 // eventScratch holds the reusable per-sample aggregation buffers for one
 // run's epoch events, so sampling allocates nothing after the first epoch.
 type eventScratch struct {
-	islands       []float64
-	hist          []int
-	gridW         int
-	islandW       int
-	islandH       int
-	islandsPerRow int
+	islands []float64
+	hist    []int
+	// islandOf maps core index to island index, computed once so the
+	// per-epoch fill is a table lookup instead of four integer divisions
+	// per core (fill runs every sampled epoch, and a monitor samples all
+	// of them).
+	islandOf []int32
 }
 
 // newEventScratch sizes buffers from the chip configuration. With per-core
 // DVFS (island size 0) the whole chip aggregates into one island entry.
 func newEventScratch(cfg manycore.Config) *eventScratch {
-	s := &eventScratch{gridW: cfg.Width}
+	s := &eventScratch{}
 	nIslands := 1
+	cores := cfg.Width * cfg.Height
+	s.islandOf = make([]int32, cores)
 	if cfg.IslandW > 0 && cfg.IslandH > 0 {
-		s.islandW, s.islandH = cfg.IslandW, cfg.IslandH
-		s.islandsPerRow = cfg.Width / cfg.IslandW
-		nIslands = s.islandsPerRow * (cfg.Height / cfg.IslandH)
+		islandsPerRow := cfg.Width / cfg.IslandW
+		nIslands = islandsPerRow * (cfg.Height / cfg.IslandH)
+		for i := 0; i < cores; i++ {
+			x, y := i%cfg.Width, i/cfg.Width
+			s.islandOf[i] = int32((y/cfg.IslandH)*islandsPerRow + x/cfg.IslandW)
+		}
 	}
 	s.islands = make([]float64, nIslands)
 	s.hist = make([]int, cfg.VF.Levels())
@@ -48,18 +60,27 @@ func (s *eventScratch) fill(ev *obs.EpochEvent, tel *manycore.Telemetry) {
 	for i := range s.hist {
 		s.hist[i] = 0
 	}
+	ips := 0.0
 	for i := range tel.Cores {
 		ct := &tel.Cores[i]
 		if ct.Level >= 0 && ct.Level < len(s.hist) {
 			s.hist[ct.Level]++
 		}
-		isl := 0
-		if s.islandW > 0 {
-			x, y := i%s.gridW, i/s.gridW
-			isl = (y/s.islandH)*s.islandsPerRow + x/s.islandW
-		}
-		s.islands[isl] += ct.PowerW
+		s.islands[s.islandOf[i]] += ct.PowerW
+		ips += ct.IPS
 	}
 	ev.IslandPowerW = s.islands
 	ev.LevelHist = s.hist
+	ev.IPS = ips
+}
+
+// fillLight populates only the scalar aggregate (chip IPS), for sampled
+// epochs whose observer declined detail via obs.EpochDetailSampler — the
+// run-health monitor's every-epoch path.
+func (s *eventScratch) fillLight(ev *obs.EpochEvent, tel *manycore.Telemetry) {
+	ips := 0.0
+	for i := range tel.Cores {
+		ips += tel.Cores[i].IPS
+	}
+	ev.IPS = ips
 }

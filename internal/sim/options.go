@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/variation"
 	"repro/internal/workload"
 )
@@ -74,6 +75,13 @@ type Options struct {
 	// measurement window (see package obs). Nil (the default) costs one
 	// branch per epoch. Falls back to DefaultObserver when nil.
 	Observer obs.Observer
+	// Monitor, when set, wraps the run's observer chain with the
+	// run-health layer (time series, quantile sketches, alert rules, live
+	// HTTP views; see package obs/monitor) and streams controller phase
+	// spans into its timeline. Monitoring is strictly read-only:
+	// simulation results are bit-identical with it on or off. Falls back
+	// to DefaultMonitor when nil.
+	Monitor *monitor.Monitor
 	// Workers bounds the goroutines sharding the per-core simulation and
 	// control loops (the `-j` knob): 0 uses one worker per CPU, 1 forces
 	// fully sequential execution. Results are bit-identical for any

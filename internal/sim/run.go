@@ -207,6 +207,20 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	if observer == nil {
 		observer = DefaultObserver
 	}
+	mon := opts.Monitor
+	if mon == nil {
+		mon = DefaultMonitor
+	}
+	if mon != nil {
+		// The monitor wraps the chain so it sees every epoch while a
+		// chained tracer keeps its own stride; it also collects the
+		// controller's phase spans for the Perfetto timeline.
+		observer = mon.Wrap(observer)
+		if ss, ok := c.(ctrl.SpanStreamer); ok {
+			ss.SetSpanSink(mon.Timeline())
+			defer ss.SetSpanSink(nil)
+		}
+	}
 	var (
 		runObs  obs.RunObserver
 		scratch *eventScratch
@@ -227,6 +241,7 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	if fo, ok := runObs.(obs.FaultObserver); ok && inj != nil {
 		faultObs = fo
 	}
+	detailSampler, _ := runObs.(obs.EpochDetailSampler)
 
 	var (
 		meter      power.Meter
@@ -309,7 +324,11 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 				if tel.TruePowerW > budget {
 					ev.OvershootW = tel.TruePowerW - budget
 				}
-				scratch.fill(&ev, &tel)
+				if detailSampler == nil || detailSampler.WantsEpochDetail(me) {
+					scratch.fill(&ev, &tel)
+				} else {
+					scratch.fillLight(&ev, &tel)
+				}
 				runObs.ObserveEpoch(&ev)
 			}
 		}
