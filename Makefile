@@ -17,9 +17,14 @@ COVER_FLOOR ?= 80.0
 # fraction of the unmonitored loop.
 MONITOR_OVERHEAD_MAX ?= 3.0
 
-.PHONY: ci vet build test test-determinism race-monitor race-par bench-obs bench bench-par bench-monitor fuzz-smoke cover
+# Learning-introspection overhead ceiling for `make bench-learn`, in
+# percent: the epoch loop with per-agent telemetry and convergence
+# detection attached must stay within this fraction of the plain loop.
+LEARN_OVERHEAD_MAX ?= 3.0
 
-ci: vet build test test-determinism race-monitor race-par bench-obs bench-monitor fuzz-smoke cover
+.PHONY: ci vet build test test-determinism race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn fuzz-smoke cover
+
+ci: vet build test test-determinism race-monitor race-learn race-par bench-obs bench-monitor bench-learn fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +46,11 @@ test-determinism:
 # readers snapshotting while the epoch loop appends and decimates.
 race-monitor:
 	$(GO) test -race -count=1 -run 'TestStoreConcurrentReadWrite|TestSSEStream|TestSlowSubscriber' ./internal/obs/monitor/
+
+# Race hammer on the learn layer's run store: concurrent /debug/learn and
+# summary readers while the epoch loop streams per-agent samples.
+race-learn:
+	$(GO) test -race -count=1 -run 'TestLearnStoreRace' ./internal/obs/learn/
 
 # Race gate on the packages the parallel layer touches most; `make test`
 # already runs -race repo-wide, this narrows the loop while iterating.
@@ -65,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadRecords$$' -fuzztime=$(FUZZTIME) ./internal/obs/
 	$(GO) test -run='^$$' -fuzz='^FuzzPlanJSON$$' -fuzztime=$(FUZZTIME) ./internal/fault/
 	$(GO) test -run='^$$' -fuzz='^FuzzRulesJSON$$' -fuzztime=$(FUZZTIME) ./internal/obs/monitor/
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/obs/learn/
 
 # Coverage gate: repo-wide statement coverage must stay at or above
 # COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.
@@ -94,3 +105,17 @@ bench-monitor:
 			else { printf "monitor overhead %.2f%% (ceiling %.1f%%)\n", pct, max } \
 		} \
 		END { exit bad }' BENCH_monitor.json
+
+# Learning-introspection-off-vs-on wall-clock comparison: writes
+# BENCH_learn.json and fails if any case's epoch-loop overhead exceeds
+# LEARN_OVERHEAD_MAX %.
+bench-learn:
+	$(GO) run ./cmd/odrl-bench -bench-learn BENCH_learn.json
+	@awk -v max="$(LEARN_OVERHEAD_MAX)" ' \
+		/"overhead_frac"/ { \
+			v = $$0; sub(/.*"overhead_frac":[ \t]*/, "", v); sub(/[,}].*/, "", v); \
+			pct = 100 * v; \
+			if (pct > max + 0) { printf "learn overhead %.2f%% exceeds %.1f%% ceiling\n", pct, max; bad = 1 } \
+			else { printf "learn overhead %.2f%% (ceiling %.1f%%)\n", pct, max } \
+		} \
+		END { exit bad }' BENCH_learn.json

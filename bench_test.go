@@ -233,3 +233,4 @@ func BenchmarkF15_Seeds(b *testing.B)     { benchExperiment(b, "F15") }
 func BenchmarkF16_Server(b *testing.B)    { benchExperiment(b, "F16") }
 func BenchmarkF17_Hetero(b *testing.B)    { benchExperiment(b, "F17") }
 func BenchmarkF18_Faults(b *testing.B)    { benchExperiment(b, "F18") }
+func BenchmarkF19_Learning(b *testing.B)  { benchExperiment(b, "F19") }

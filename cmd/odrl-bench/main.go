@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 )
@@ -37,6 +38,7 @@ func main() {
 		faultSpec   = flag.String("fault-plan", "", "inject faults into every run: an intensity in [0,1] for the canonical plan, or a plan JSON file path (F18 sweeps its own plans)")
 		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
 		benchMon    = flag.String("bench-monitor", "", "measure monitoring-off-vs-on wall clock and write a JSON report (e.g. BENCH_monitor.json) to this file, then exit")
+		benchLearn  = flag.String("bench-learn", "", "measure learning-introspection-off-vs-on wall clock and write a JSON report (e.g. BENCH_learn.json) to this file, then exit")
 		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
 		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
@@ -45,6 +47,9 @@ func main() {
 		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
 		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
 		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+		learnOn     = flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
+		snapEvery   = flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
+		artifacts   = flag.String("artifacts", "", "record every run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
 	)
 	flag.Parse()
 
@@ -98,7 +103,37 @@ func main() {
 		return
 	}
 
-	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	if *benchLearn != "" {
+		rep, err := experiments.BenchLearn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchLearn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		werr := rep.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cases {
+			fmt.Printf("%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
+				c.Name, c.Epochs, c.OffS, c.OnS, 100*c.OverheadFrac)
+		}
+		fmt.Printf("report written to %s (%d CPUs)\n", *benchLearn, rep.HostCPUs)
+		return
+	}
+
+	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(2)
+	}
+	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
 		os.Exit(1)
@@ -115,6 +150,15 @@ func main() {
 	defer mcli.Close(os.Stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
+	}
+	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+		os.Exit(2)
+	}
+	defer lcli.Close(os.Stderr)
+	if lcli != nil {
+		sim.DefaultLearn = lcli.Layer
 	}
 
 	if *outDir != "" {

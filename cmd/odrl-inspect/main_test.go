@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/learn"
+	"repro/internal/sim"
+)
+
+// record produces one complete artifact directory the way the CLIs do:
+// a full-stride JSONL trace plus a policy snapshot chain.
+func record(t *testing.T, dir string, seed uint64) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.NewWriterSink(f), obs.TracerOptions{Every: 1})
+
+	opts := sim.DefaultOptions()
+	opts.Cores = 16
+	opts.Workers = 1
+	opts.WarmupS = 0
+	opts.MeasureS = 1
+	opts.Seed = seed
+	opts.Observer = tracer
+	opts.Learn = learn.New(learn.Options{
+		// Permissive detector so short test runs still emit converged events.
+		Detector:      learn.Detector{StableEpochs: 50, TDThreshold: 0.6, EMAAlpha: 0.1},
+		SnapshotEvery: 200,
+		ArtifactDir:   dir,
+	})
+	c, err := sim.NewController("od-rl", sim.DefaultEnv(opts.Cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(opts, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.Learn.Runs()[0].Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectSingleRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runA")
+	record(t, dir, 1)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"controller od-rl", "learning curves", "td_ema", "epsilon",
+		"convergence:", "epochs-to-converge", "policy snapshots:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.ContainsAny(got, "▁▂▃▄▅▆▇█") {
+		t.Fatalf("no sparklines in report:\n%s", got)
+	}
+}
+
+func TestInspectDiff(t *testing.T) {
+	base := t.TempDir()
+	dirA := filepath.Join(base, "runA")
+	dirB := filepath.Join(base, "runB")
+	record(t, dirA, 1)
+	record(t, dirB, 7)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{dirA, dirB}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"== diff:", "final metric", "greedy-action disagreement",
+		"first recorded policy divergence: epoch",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("diff missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInspectIdenticalRunsDoNotDiverge(t *testing.T) {
+	base := t.TempDir()
+	dirA := filepath.Join(base, "runA")
+	dirB := filepath.Join(base, "runB")
+	record(t, dirA, 3)
+	record(t, dirB, 3)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{dirA, dirB}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "policies identical at every common snapshot epoch") {
+		t.Fatalf("same-seed runs reported divergence:\n%s", got)
+	}
+	if !strings.Contains(got, "disagreement (final policies): 0/") {
+		t.Fatalf("same-seed runs disagree on greedy actions:\n%s", got)
+	}
+}
+
+func TestInspectBadInvocations(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"a", "b", "c"}, &out, &errb); code != 2 {
+		t.Fatalf("three dirs: exit %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir()}, &out, &errb); code != 1 {
+		t.Fatalf("empty dir: exit %d, want 1", code)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -43,6 +44,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		monitorOn = fs.Bool("monitor", false, "enable the run-health monitor (only meaningful with a mode that runs simulation epochs)")
 		alertRule = fs.String("alert-rules", "", "alert rules JSON file (implies -monitor)")
 		perfetto  = fs.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+		learnOn   = fs.Bool("learn", false, "enable learning introspection (only meaningful with a mode that runs simulation epochs)")
+		snapEvery = fs.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (requires -artifacts)")
+		artifacts = fs.String("artifacts", "", "record simulation runs into this directory: full JSONL trace plus policy snapshots (implies -learn)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,16 +82,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	ocli, err := obs.StartCLI("", 1, *debugAddr)
+	tracePath, traceStride, err := learn.ResolveTrace("", 1, *artifacts)
+	if err != nil {
+		fmt.Fprintln(stderr, "odrl-trace:", err)
+		return 2
+	}
+	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
 		return fail(err)
 	}
 	defer ocli.Close()
-	// Trace recording itself runs no simulation epochs, but the monitor flags
-	// are accepted everywhere for a uniform CLI surface: rules files are
-	// validated, the debug server gains /metrics, /debug/live and
-	// /debug/timeline, and any future sim-running mode picks the monitor up
-	// through sim.DefaultMonitor.
+	// Trace recording itself runs no simulation epochs, but the monitor and
+	// learn flags are accepted everywhere for a uniform CLI surface: rules
+	// files are validated, the debug server gains /metrics, /debug/live,
+	// /debug/timeline and /debug/learn, and any future sim-running mode picks
+	// both layers up through sim.DefaultMonitor / sim.DefaultLearn.
 	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRule, *perfetto)
 	if err != nil {
 		return fail(err)
@@ -95,6 +104,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer mcli.Close(stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
+	}
+	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	if err != nil {
+		fmt.Fprintln(stderr, "odrl-trace:", err)
+		return 2
+	}
+	defer lcli.Close(stderr)
+	if lcli != nil {
+		sim.DefaultLearn = lcli.Layer
 	}
 
 	switch {

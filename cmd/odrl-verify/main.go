@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 )
@@ -26,9 +27,17 @@ func main() {
 	monitorOn := flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
 	alertRules := flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
 	perfetto := flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+	learnOn := flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
+	snapEvery := flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
+	artifacts := flag.String("artifacts", "", "record every run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
 	flag.Parse()
 
-	ocli, err := obs.StartCLI(*traceEvents, *traceEvery, *debugAddr)
+	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
+		os.Exit(2)
+	}
+	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
 		os.Exit(1)
@@ -43,6 +52,15 @@ func main() {
 	defer mcli.Close(os.Stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
+	}
+	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrl-verify:", err)
+		os.Exit(2)
+	}
+	defer lcli.Close(os.Stderr)
+	if lcli != nil {
+		sim.DefaultLearn = lcli.Layer
 	}
 
 	cfg := experiments.Default()

@@ -229,6 +229,15 @@ type Controller struct {
 	// phases profiles the two control layers separately (claim C4: the
 	// fine-grain layer is O(1) per core, only reallocation is global).
 	phases *obs.SpanTimer
+
+	// Learning introspection (see learn.go): sink and reusable sample
+	// buffer, attached via ctrl.LearnStreamer; nil when off. learnEvery is
+	// the sink's requested emit stride in epochs; learnPend counts epochs
+	// since the last emit.
+	learnSink  obs.LearnSink
+	learnBuf   []obs.LearnCoreSample
+	learnEvery int
+	learnPend  int
 }
 
 // New creates an OD-RL controller for a chip with the given core count,
@@ -528,6 +537,14 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 		globalStart := time.Now()
 		c.reallocate(tel, budgetW)
 		c.phases.ObserveSince(spanGlobal, globalStart)
+	}
+
+	if c.learnSink != nil {
+		c.learnPend++
+		if c.learnPend >= c.learnEvery {
+			c.emitLearn(c.learnPend)
+			c.learnPend = 0
+		}
 	}
 }
 

@@ -11,6 +11,8 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/manycore"
 	"repro/internal/noc"
+	"repro/internal/obs"
+	learn "repro/internal/obs/learn"
 	"repro/internal/sim"
 	"repro/internal/vf"
 )
@@ -229,6 +231,92 @@ func TestContractCommCost(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// greedyRecorder counts, per core, how often the agent's latest action was
+// the greedy one. It implements obs.LearnSink without obs.LearnStrider, so
+// the controller emits every epoch and ActedGreedy is per-epoch exact.
+type greedyRecorder struct {
+	greedy []int
+	total  []int
+}
+
+func (g *greedyRecorder) ObserveLearnEpoch(samples []obs.LearnCoreSample) {
+	for i, s := range samples {
+		if s.Dead {
+			continue
+		}
+		g.total[i]++
+		if s.ActedGreedy {
+			g.greedy[i]++
+		}
+	}
+}
+
+// stationaryTelemetry rewrites the synthetic frame so each core's
+// IPS/power depend only on its chosen level (phase fixed per core, not
+// epoch-cycling): a stationary environment tabular Q-learning can actually
+// converge in, unlike the default frame whose drifting phase keeps greedy
+// actions churning forever.
+func stationaryTelemetry(_ int, tel *manycore.Telemetry) {
+	table := vf.Default()
+	tel.ChipPowerW = 0
+	for i := range tel.Cores {
+		op := table.Point(tel.Cores[i].Level)
+		phase := float64((i*13)%100) / 100
+		tel.Cores[i].IPS = op.FreqHz * (0.4 + 0.8*phase)
+		tel.Cores[i].PowerW = 0.3 + 2.5*phase*float64(tel.Cores[i].Level+1)/float64(table.Levels())
+		tel.Cores[i].MemBoundedness = phase * 0.9
+		tel.ChipPowerW += tel.Cores[i].PowerW
+	}
+	tel.TruePowerW = tel.ChipPowerW
+}
+
+// TestContractConvergedActGreedily: once the online detector declares an
+// agent converged (greedy policy stable, TD-error EMA below threshold), that
+// agent must keep acting greedily — apart from the residual ε-greedy
+// exploration floor. The detector here disables the TD criterion (threshold
+// far above the ≤1 reward scale) so the test exercises greedy stability
+// alone and stays robust to workload synthesis details.
+func TestContractConvergedActGreedily(t *testing.T) {
+	c := build(t, "od-rl")
+	ls, ok := c.(ctrl.LearnStreamer)
+	if !ok {
+		t.Fatal("od-rl does not implement ctrl.LearnStreamer")
+	}
+	lay := learn.New(learn.Options{
+		Detector:  learn.Detector{StableEpochs: 100, TDThreshold: 100},
+		EmitEvery: 1,
+	})
+	run := lay.BeginRun(obs.RunMeta{Controller: c.Name(), Cores: contractCores}, nil, 0)
+	ls.SetLearnSink(run)
+	drive(t, c, 6000, func(int) float64 { return 40 }, stationaryTelemetry,
+		func(e int, out []int) { requireInRange(t, "od-rl", e, out) })
+	converged := map[int]bool{}
+	run.DrainConverged(func(cv *obs.ConvergedEvent) { converged[cv.Core] = true })
+	if len(converged) == 0 {
+		t.Fatal("no agent converged in 6000 epochs under a stability-only detector")
+	}
+	rec := &greedyRecorder{
+		greedy: make([]int, contractCores),
+		total:  make([]int, contractCores),
+	}
+	ls.SetLearnSink(rec)
+	drive(t, c, 500, func(int) float64 { return 40 }, stationaryTelemetry,
+		func(e int, out []int) { requireInRange(t, "od-rl", e, out) })
+	ls.SetLearnSink(nil)
+	var greedy, total int
+	for core := range converged {
+		greedy += rec.greedy[core]
+		total += rec.total[core]
+	}
+	if total == 0 {
+		t.Fatal("converged cores recorded no samples")
+	}
+	if frac := float64(greedy) / float64(total); frac < 0.9 {
+		t.Fatalf("converged agents acted greedily only %.1f%% of post-convergence epochs (%d cores, want ≥90%%)",
+			frac*100, len(converged))
 	}
 }
 

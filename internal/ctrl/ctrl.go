@@ -55,6 +55,29 @@ type SpanStreamer interface {
 	SetSpanSink(s obs.SpanSink)
 }
 
+// LearnStreamer is optionally implemented by learning controllers that can
+// stream per-agent learning samples (TD error, exploration rate, policy
+// churn — see obs.LearnCoreSample) to an obs.LearnSink after each decision.
+// The harness attaches the learning-introspection layer here and detaches
+// it (nil) when the run ends; implementations must treat a nil sink as
+// "off" and must keep decisions bit-identical either way.
+type LearnStreamer interface {
+	// SetLearnSink installs (or, with nil, removes) the learn sink.
+	SetLearnSink(s obs.LearnSink)
+}
+
+// PolicySnapshotter is optionally implemented by controllers whose policy
+// is an exportable dense table, enabling the content-addressed policy
+// snapshots the learning-introspection layer writes. CopyPolicy must be a
+// pure read: cores·states·actions float64 values in core-major order.
+type PolicySnapshotter interface {
+	// PolicyShape returns the policy tensor's dimensions.
+	PolicyShape() (cores, states, actions int)
+	// CopyPolicy copies the policy into dst, which must hold exactly
+	// cores·states·actions values.
+	CopyPolicy(dst []float64) error
+}
+
 // Predictor turns one core's observed telemetry into power and performance
 // estimates at other VF levels, exactly the model a MaxBIPS-class manager
 // builds from performance counters. Its error on abrupt phase changes —

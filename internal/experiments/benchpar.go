@@ -3,7 +3,6 @@ package experiments
 import (
 	"encoding/json"
 	"io"
-	"runtime"
 	"time"
 
 	"repro/internal/par"
@@ -29,12 +28,9 @@ type BenchParCase struct {
 // execution layer on this host. Results are bit-identical across worker
 // counts, so the comparison is pure scheduling overhead vs parallelism.
 type BenchParReport struct {
-	// HostCPUs is runtime.NumCPU(); speedup is bounded by it. On a
-	// single-CPU host every speedup is ≈1× by construction.
-	HostCPUs   int            `json:"host_cpus"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Workers    int            `json:"workers"`
-	Cases      []BenchParCase `json:"cases"`
+	HostInfo
+	Workers int            `json:"workers"`
+	Cases   []BenchParCase `json:"cases"`
 }
 
 // timeRun reports the wall-clock seconds of one invocation of fn.
@@ -42,6 +38,21 @@ func timeRun(fn func() error) (float64, error) {
 	start := time.Now()
 	err := fn()
 	return time.Since(start).Seconds(), err
+}
+
+// timeRunBoth reports wall-clock and process-CPU seconds of one invocation
+// of fn; cpuS is zero when the platform cannot measure CPU time. The
+// overhead gates ratio CPU time where available because it is immune to the
+// scheduler noise that dominates wall clock on shared hosts.
+func timeRunBoth(fn func() error) (wallS, cpuS float64, err error) {
+	c0 := cpuSeconds()
+	start := time.Now()
+	err = fn()
+	wallS = time.Since(start).Seconds()
+	if c1 := cpuSeconds(); c1 > c0 {
+		cpuS = c1 - c0
+	}
+	return wallS, cpuS, err
 }
 
 // benchParCase times fn at Workers=1 and at the requested worker count.
@@ -72,9 +83,8 @@ func benchParCase(name string, workers int, fn func(workers int) error) (BenchPa
 func BenchPar(workers int) (BenchParReport, error) {
 	workers = par.Workers(workers, 1<<30)
 	rep := BenchParReport{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
+		HostInfo: hostInfo(),
+		Workers:  workers,
 	}
 
 	// Outer loop: the F2 benchmark×controller sweep, cache reset between

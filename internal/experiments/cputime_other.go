@@ -1,0 +1,7 @@
+//go:build !linux
+
+package experiments
+
+// cpuSeconds is unavailable off Linux; callers fall back to wall-clock
+// ratios.
+func cpuSeconds() float64 { return 0 }

@@ -249,6 +249,7 @@ func All() []struct {
 		{"F16", F16Server},
 		{"F17", F17Hetero},
 		{"F18", F18FaultIntensity},
+		{"F19", F19LearningDynamics},
 	}
 }
 

@@ -249,12 +249,21 @@ func TestF12WarmStart(t *testing.T) {
 	// Warm BIPS in the first window should be at least cold BIPS (the
 	// warm policy starts converged; cold starts exploring).
 	cold, err1 := strconv.ParseFloat(tbl.Rows[0][1], 64)
-	warm, err2 := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	warm, err2 := strconv.ParseFloat(tbl.Rows[0][4], 64)
 	if err1 != nil || err2 != nil {
-		t.Fatalf("bad cells %q %q", tbl.Rows[0][1], tbl.Rows[0][3])
+		t.Fatalf("bad cells %q %q", tbl.Rows[0][1], tbl.Rows[0][4])
 	}
 	if warm < cold*0.95 {
 		t.Fatalf("warm first-window BIPS %v well below cold %v", warm, cold)
+	}
+	// The convergence columns must parse as valid percentages.
+	for _, col := range []int{3, 6} {
+		for _, r := range tbl.Rows {
+			v, err := strconv.ParseFloat(r[col], 64)
+			if err != nil || v < 0 || v > 100 {
+				t.Fatalf("bad conv(%%) cell %q", r[col])
+			}
+		}
 	}
 }
 

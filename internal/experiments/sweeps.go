@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/ctrl"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -17,11 +19,17 @@ type windowRow struct {
 	overJ      float64
 	overTimeS  float64
 	bips       float64
+	// convFrac is the share of live agents converged by the window's end
+	// (meaningful only when a learn.Run was attached).
+	convFrac float64
 }
 
 // windowedRun drives one controller from simulated time zero and reports
 // per-window metrics — the learning-curve harness shared by F6 and F12.
-func windowedRun(cfg Config, c ctrl.Controller, totalS, windowS float64) ([]windowRow, error) {
+// When lr is non-nil the controller must already stream into it (via
+// ctrl.LearnStreamer); each window then also records the cumulative
+// converged-agent fraction at its close.
+func windowedRun(cfg Config, c ctrl.Controller, lr *learn.Run, totalS, windowS float64) ([]windowRow, error) {
 	opts := sim.DefaultOptions()
 	opts.Cores = cfg.Cores
 	opts.BudgetW = cfg.BudgetW
@@ -50,14 +58,18 @@ func windowedRun(cfg Config, c ctrl.Controller, totalS, windowS float64) ([]wind
 			winOverT += opts.EpochS
 		}
 		if (e+1)%windowEpochs == 0 {
-			rows = append(rows, windowRow{
+			row := windowRow{
 				fromS:     float64(e+1-windowEpochs) * opts.EpochS,
 				toS:       float64(e+1) * opts.EpochS,
 				meanW:     winEnergy / windowS,
 				overJ:     winOverJ,
 				overTimeS: winOverT,
 				bips:      (chip.Instructions() - winInstr) / windowS / 1e9,
-			})
+			}
+			if lr != nil {
+				row.convFrac = lr.Summarize(false).ConvergedFrac
+			}
+			rows = append(rows, row)
 			winEnergy, winOverJ, winOverT = 0, 0, 0
 			winInstr = chip.Instructions()
 		}
@@ -81,7 +93,16 @@ func F6Convergence(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	rows, err := windowedRun(cfg, c, totalS, windowS)
+	// Attach learning introspection so each window also reports how much of
+	// the policy has converged — the "why" behind the decaying overshoot.
+	lrn := learn.New(learn.Options{})
+	var lr *learn.Run
+	if ls, ok := c.(ctrl.LearnStreamer); ok {
+		lr = lrn.BeginRun(obs.RunMeta{Controller: "od-rl", Cores: cfg.Cores, BudgetW: cfg.BudgetW, Seed: cfg.Seed}, nil, 0)
+		ls.SetLearnSink(lr)
+		defer ls.SetLearnSink(nil)
+	}
+	rows, err := windowedRun(cfg, c, lr, totalS, windowS)
 	if err != nil {
 		return Table{}, err
 	}
@@ -89,14 +110,22 @@ func F6Convergence(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F6",
 		Title:  fmt.Sprintf("OD-RL convergence from cold start at %.0f W", cfg.BudgetW),
-		Header: []string{"window(s)", "mean(W)", "over(J)", "over-time(%)", "BIPS"},
+		Header: []string{"window(s)", "mean(W)", "over(J)", "over-time(%)", "BIPS", "conv(%)"},
 		Notes:  []string{"one row per learning window; exploration anneals over the run"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f-%.2f", r.fromS, r.toS),
 			cell(r.meanW), cell(r.overJ), cell(100 * r.overTimeS / windowS), cell(r.bips),
+			cell(100 * r.convFrac),
 		})
+	}
+	if lr != nil {
+		if s := lr.Summarize(false); s.Converged > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"conv(%%) = agents greedy-stable with settled TD error; %d/%d converged, median %d epochs",
+				s.Converged, s.LiveAgents, s.EpochsToConvergeP50))
+		}
 	}
 	return t, nil
 }

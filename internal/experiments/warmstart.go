@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/power"
 	"repro/internal/vf"
 )
@@ -35,7 +37,7 @@ func F12WarmStart(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	if _, err := windowedRun(cfg, trained, trainS, trainS); err != nil {
+	if _, err := windowedRun(cfg, trained, nil, trainS, trainS); err != nil {
 		return Table{}, err
 	}
 	var policy bytes.Buffer
@@ -43,12 +45,21 @@ func F12WarmStart(cfg Config) (Table, error) {
 		return Table{}, err
 	}
 
+	// Both measured legs stream learning telemetry so the table shows not
+	// just that warm starting helps but why: the restored policy begins
+	// (nearly) converged while the cold one is still exploring.
+	lrn := learn.New(learn.Options{})
+	meta := obs.RunMeta{Controller: "od-rl", Cores: cfg.Cores, BudgetW: cfg.BudgetW, Seed: cfg.Seed}
+
 	// Cold start.
 	cold, err := newODRL()
 	if err != nil {
 		return Table{}, err
 	}
-	coldRows, err := windowedRun(cfg, cold, totalS, windowS)
+	coldLR := lrn.BeginRun(meta, nil, 0)
+	cold.SetLearnSink(coldLR)
+	coldRows, err := windowedRun(cfg, cold, coldLR, totalS, windowS)
+	cold.SetLearnSink(nil)
 	if err != nil {
 		return Table{}, err
 	}
@@ -61,7 +72,10 @@ func F12WarmStart(cfg Config) (Table, error) {
 	if err := warm.LoadPolicy(&policy); err != nil {
 		return Table{}, err
 	}
-	warmRows, err := windowedRun(cfg, warm, totalS, windowS)
+	warmLR := lrn.BeginRun(meta, nil, 0)
+	warm.SetLearnSink(warmLR)
+	warmRows, err := windowedRun(cfg, warm, warmLR, totalS, windowS)
+	warm.SetLearnSink(nil)
 	if err != nil {
 		return Table{}, err
 	}
@@ -70,11 +84,13 @@ func F12WarmStart(cfg Config) (Table, error) {
 		ID:    "F12",
 		Title: fmt.Sprintf("warm start from a saved policy at %.0f W (extension)", cfg.BudgetW),
 		Header: []string{
-			"window(s)", "cold BIPS", "cold over(J)", "warm BIPS", "warm over(J)",
+			"window(s)", "cold BIPS", "cold over(J)", "cold conv(%)",
+			"warm BIPS", "warm over(J)", "warm conv(%)",
 		},
 		Notes: []string{
 			fmt.Sprintf("policy trained for %.1fs, saved, restored into a fresh controller", trainS),
 			"warm start should match the trained steady state from the first window",
+			"conv(%) = agents greedy-stable with settled TD error by the window's end",
 		},
 	}
 	for i := range coldRows {
@@ -82,8 +98,8 @@ func F12WarmStart(cfg Config) (Table, error) {
 		wr := warmRows[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f-%.2f", cr.fromS, cr.toS),
-			cell(cr.bips), cell(cr.overJ),
-			cell(wr.bips), cell(wr.overJ),
+			cell(cr.bips), cell(cr.overJ), cell(100 * cr.convFrac),
+			cell(wr.bips), cell(wr.overJ), cell(100 * wr.convFrac),
 		})
 	}
 	return t, nil

@@ -604,13 +604,33 @@ func (c *Chip) stepCore(i int, dt float64, tel *Telemetry, noise []float64) {
 // stream in core order before dispatch, every worker writes only
 // index-addressed slots, and the instruction totals are reduced in index
 // order afterwards — the same floating-point operations in the same order.
+//
+// Step allocates fresh telemetry each call, so the result stays valid
+// indefinitely; steady-state loops should use StepInto to amortise the
+// allocation away.
 func (c *Chip) Step(dt float64) Telemetry {
+	var tel Telemetry
+	c.StepInto(dt, &tel)
+	return tel
+}
+
+// StepInto advances the chip exactly like Step but writes the telemetry
+// into *tel, reusing tel.Cores when its capacity allows. Every core slot
+// and chip-level field is overwritten in full, so passing the same
+// Telemetry each epoch steps the chip without allocating — at 64 cores the
+// fresh slice is ~5 KB/epoch, which otherwise dominates the harness's GC
+// load. The caller must not retain tel.Cores across calls.
+func (c *Chip) StepInto(dt float64, tel *Telemetry) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))
 	}
 	c.resolveIslands()
 	n := c.NumCores()
-	tel := Telemetry{EpochS: dt, Cores: make([]CoreTelemetry, n)}
+	cores := tel.Cores
+	if cap(cores) < n {
+		cores = make([]CoreTelemetry, n)
+	}
+	*tel = Telemetry{EpochS: dt, Cores: cores[:n]}
 
 	if workers := c.stepWorkers(); workers > 1 {
 		if c.cfg.SensorNoise != 0 {
@@ -622,19 +642,19 @@ func (c *Chip) Step(dt float64) Telemetry {
 			}
 			par.ForEachChunk(workers, n, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					c.stepCore(i, dt, &tel, c.noiseBuf[3*i:3*i+3])
+					c.stepCore(i, dt, tel, c.noiseBuf[3*i:3*i+3])
 				}
 			})
 		} else {
 			par.ForEachChunk(workers, n, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					c.stepCore(i, dt, &tel, nil)
+					c.stepCore(i, dt, tel, nil)
 				}
 			})
 		}
 	} else {
 		for i := 0; i < n; i++ {
-			c.stepCore(i, dt, &tel, nil)
+			c.stepCore(i, dt, tel, nil)
 		}
 	}
 
@@ -658,9 +678,8 @@ func (c *Chip) Step(dt float64) Telemetry {
 	// The sensor-read fault hook runs last, on the sequential path, so the
 	// faults it injects are independent of the worker count above.
 	if c.telFilter != nil {
-		c.telFilter.FilterTelemetry(&tel)
+		c.telFilter.FilterTelemetry(tel)
 	}
-	return tel
 }
 
 func clamp01(v float64) float64 {

@@ -367,6 +367,13 @@ func (r *monitorRun) ObserveEpoch(ev *obs.EpochEvent) {
 	r.frame[len(storeMetrics)+1] = r.emaOvershoot
 	r.frame[len(storeMetrics)+2] = ipsVsPeak
 	r.frame[len(storeMetrics)+3] = r.p99Ns
+	// learn.* slots: zero unless the run carries learning introspection
+	// (the event fields are filled by obs/learn), so learn rules never fire
+	// on unintrospected runs.
+	r.frame[len(storeMetrics)+4] = ev.LearnTDEMA
+	r.frame[len(storeMetrics)+5] = ev.LearnChurn
+	r.frame[len(storeMetrics)+6] = ev.LearnConvergedFrac
+	r.frame[len(storeMetrics)+7] = ev.LearnEpsilon
 
 	r.h.Store.Append((*[len(storeMetrics)]float64)(r.frame[:len(storeMetrics)]))
 	r.eng.eval(&r.frame, ev.Epoch, ev.TimeS, r.fire)
@@ -416,6 +423,27 @@ func (r *monitorRun) ObserveFault(ev *obs.FaultEvent) {
 	}
 	if fo, ok := r.next.(obs.FaultObserver); ok {
 		fo.ObserveFault(ev)
+	}
+}
+
+// ObserveLearn implements obs.LearnObserver by forwarding to the chained
+// observer on its own sampling stride (learn events arrive on the monitor's
+// every-epoch stride and immediately follow ObserveEpoch for the same
+// epoch, so nextWants is current). The monitor's own view of the learn
+// metrics comes through the epoch event's Learn* fields.
+func (r *monitorRun) ObserveLearn(ev *obs.LearnEvent) {
+	if !r.nextWants {
+		return
+	}
+	if lo, ok := r.next.(obs.LearnObserver); ok {
+		lo.ObserveLearn(ev)
+	}
+}
+
+// ObserveConverged implements obs.LearnObserver (forwarded like faults).
+func (r *monitorRun) ObserveConverged(ev *obs.ConvergedEvent) {
+	if lo, ok := r.next.(obs.LearnObserver); ok {
+		lo.ObserveConverged(ev)
 	}
 }
 

@@ -23,6 +23,17 @@ const (
 	MetricDecideP99Ns   = "decide_p99_ns"
 )
 
+// learn.* rule metrics mirror the learning-introspection layer's headline
+// metrics (see obs.EpochEvent's Learn* fields). They are zero unless the
+// run has the learn layer attached, so learn rules are strictly opt-in:
+// DefaultRules never references them.
+const (
+	MetricLearnTDEMA         = "learn.td_ema"
+	MetricLearnChurn         = "learn.churn"
+	MetricLearnConvergedFrac = "learn.converged_frac"
+	MetricLearnEpsilon       = "learn.epsilon"
+)
+
 // ruleMetricIndex maps every rule-addressable metric to its slot in the
 // per-epoch frame.
 var ruleMetricIndex = func() map[string]int {
@@ -34,12 +45,16 @@ var ruleMetricIndex = func() map[string]int {
 	m[MetricOvershootEMA] = len(storeMetrics) + 1
 	m[MetricIPSVsPeak] = len(storeMetrics) + 2
 	m[MetricDecideP99Ns] = len(storeMetrics) + 3
+	m[MetricLearnTDEMA] = len(storeMetrics) + 4
+	m[MetricLearnChurn] = len(storeMetrics) + 5
+	m[MetricLearnConvergedFrac] = len(storeMetrics) + 6
+	m[MetricLearnEpsilon] = len(storeMetrics) + 7
 	return m
 }()
 
 // nFrameMetrics is the per-epoch frame width: raw store metrics plus the
-// derived ones.
-const nFrameMetrics = len(storeMetrics) + 4
+// derived and learn.* ones.
+const nFrameMetrics = len(storeMetrics) + 8
 
 // Comparison operators a Rule may use. OpNonfinite ignores Threshold and
 // holds when the metric is NaN or ±Inf — the telemetry-poisoning

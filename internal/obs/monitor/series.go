@@ -63,6 +63,11 @@ type SeriesSnapshot struct {
 	Values []float64 `json:"values"`
 }
 
+// Snapshot copies the series' current view. The caller must hold whatever
+// lock guards Append (Store's methods do this internally; external users of
+// Series bring their own).
+func (s *Series) Snapshot() SeriesSnapshot { return s.snapshot() }
+
 func (s *Series) snapshot() SeriesSnapshot {
 	return SeriesSnapshot{
 		Name:   s.name,

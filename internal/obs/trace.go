@@ -40,6 +40,14 @@ type EpochEvent struct {
 	// IPS is the chip-wide observed instruction throughput (sum of per-core
 	// sensor readings), the per-epoch form of the BIPS the tables report.
 	IPS float64 `json:"ips,omitempty"`
+	// Learn* mirror the learning-introspection layer's headline metrics into
+	// the epoch stream (so the monitor's frame store and alert rules see
+	// them). All omitempty: traces recorded without -learn are byte-identical
+	// to traces from builds that predate these fields.
+	LearnTDEMA         float64 `json:"learn_td_ema,omitempty"`
+	LearnChurn         float64 `json:"learn_churn,omitempty"`
+	LearnConvergedFrac float64 `json:"learn_converged_frac,omitempty"`
+	LearnEpsilon       float64 `json:"learn_epsilon,omitempty"`
 }
 
 // FaultEvent is one discrete injected fault (core death, telemetry
@@ -92,7 +100,7 @@ type AlertObserver interface {
 // Record is one decoded JSONL trace line. Type selects which of the other
 // fields are meaningful.
 type Record struct {
-	Type string `json:"type"` // "run_start" | "epoch" | "fault" | "alert" | "run_end"
+	Type string `json:"type"` // "run_start" | "epoch" | "fault" | "alert" | "learn" | "converged" | "run_end"
 	Run  int64  `json:"run"`
 	// Meta is valid for run_start records.
 	Meta RunMeta `json:"-"`
@@ -102,6 +110,10 @@ type Record struct {
 	Fault FaultEvent `json:"-"`
 	// Alert is valid for alert records.
 	Alert AlertEvent `json:"-"`
+	// Learn is valid for learn records.
+	Learn LearnEvent `json:"-"`
+	// Conv is valid for converged records.
+	Conv ConvergedEvent `json:"-"`
 	// Epochs and Sampled are valid for run_end records.
 	Epochs  int `json:"epochs,omitempty"`
 	Sampled int `json:"sampled,omitempty"`
@@ -131,6 +143,18 @@ type alertRec struct {
 	Type string `json:"type"`
 	Run  int64  `json:"run"`
 	AlertEvent
+}
+
+type learnRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	LearnEvent
+}
+
+type convergedRec struct {
+	Type string `json:"type"`
+	Run  int64  `json:"run"`
+	ConvergedEvent
 }
 
 type runEndRec struct {
@@ -239,8 +263,8 @@ type Tracer struct {
 	every int
 	runs  atomic.Int64
 
-	runCtr    *Counter
-	sampleCtr *Counter
+	runCtr     *Counter
+	sampleCtr  *Counter
 	decideHist *Histogram
 }
 
@@ -334,6 +358,17 @@ func (r *runTracer) ObserveAlert(ev *AlertEvent) {
 	r.t.emit(alertRec{Type: "alert", Run: r.id, AlertEvent: *ev})
 }
 
+// ObserveLearn implements LearnObserver. Learn events follow the epoch
+// stream's sampling, so no extra gate is needed here.
+func (r *runTracer) ObserveLearn(ev *LearnEvent) {
+	r.t.emit(learnRec{Type: "learn", Run: r.id, LearnEvent: *ev})
+}
+
+// ObserveConverged implements LearnObserver.
+func (r *runTracer) ObserveConverged(ev *ConvergedEvent) {
+	r.t.emit(convergedRec{Type: "converged", Run: r.id, ConvergedEvent: *ev})
+}
+
 // End implements RunObserver.
 func (r *runTracer) End() {
 	r.t.emit(runEndRec{
@@ -378,6 +413,14 @@ func ReadRecords(rd io.Reader) ([]Record, error) {
 			}
 		case "alert":
 			if err := json.Unmarshal(raw, &rec.Alert); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "learn":
+			if err := json.Unmarshal(raw, &rec.Learn); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+		case "converged":
+			if err := json.Unmarshal(raw, &rec.Conv); err != nil {
 				return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 			}
 		case "run_end":

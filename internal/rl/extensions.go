@@ -41,7 +41,11 @@ func (a *Agent) stepDouble(reward float64, next int) {
 	greedy, _ := upd.Best(next)
 	target := reward + a.cfg.Gamma*other.Get(next, greedy)
 	old := upd.Get(a.lastState, a.lastAct)
-	upd.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(target-old))
+	upd.setRaw(a.lastState, a.lastAct, old+a.cfg.Alpha*(target-old))
+	a.noteTD(target - old)
+	// The selection value is the estimator mean, so the cache refresh reads
+	// the combined value of the updated pair.
+	a.noteUpdate(a.lastState, a.lastAct, a.combinedQ(a.lastState, a.lastAct))
 }
 
 // combinedQ returns the action-value used for double-Q action selection:
@@ -67,6 +71,7 @@ func (a *Agent) bestCombined(s int) (int, float64) {
 func (a *Agent) stepTraces(reward float64, next, nextAct int) {
 	greedyNext, bootstrap := a.table.Best(next)
 	delta := reward + a.cfg.Gamma*bootstrap - a.table.Get(a.lastState, a.lastAct)
+	a.noteTD(delta)
 
 	// Replacing traces: the revisited pair snaps back to full credit.
 	a.trace[a.lastState*a.cfg.Actions+a.lastAct] = 1
@@ -115,6 +120,7 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 			s.States, s.Actions, len(s.Q))
 	}
 	t.states, t.actions, t.q = s.States, s.Actions, s.Q
+	t.dirty = true
 	return nil
 }
 
@@ -143,5 +149,6 @@ func (t *Table) CopyFrom(src *Table) error {
 			src.states, src.actions, t.states, t.actions)
 	}
 	copy(t.q, src.q)
+	t.dirty = true
 	return nil
 }

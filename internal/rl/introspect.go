@@ -1,0 +1,207 @@
+package rl
+
+import "fmt"
+
+// This file holds the learning-introspection hooks: a per-step Probe the
+// observability layer (internal/obs/learn) reads after every update, plus
+// the incrementally-maintained greedy-action cache that keeps the probes
+// O(1) per step. The probes are pure observation — they never draw from the
+// agent's RNG or change update order, so decision streams are bit-identical
+// with introspection on or off. With it off, the cost is a handful of
+// untaken branches per step.
+
+// Probe is the snapshot of one learning step, refreshed by every Step call
+// once EnableIntrospection has been called.
+type Probe struct {
+	// TDError is the raw temporal-difference error δ of the step's update
+	// (before the learning-rate scaling). For Watkins Q(λ) it is the single
+	// broadcast δ; for double Q-learning, the δ of whichever estimator was
+	// updated.
+	TDError float64
+	// QSpread is max−min over the action values of the most recently
+	// updated state — collapses toward the action gap as the policy
+	// sharpens. Computed lazily by LastProbe (one row scan per read, not
+	// per step).
+	QSpread float64
+	// GreedyChanged reports whether the update flipped the greedy action of
+	// the updated state, the per-step form of policy churn.
+	GreedyChanged bool
+	// ActedGreedy reports whether the action the step returned is the
+	// greedy action of the state it was chosen in.
+	ActedGreedy bool
+}
+
+// EnableIntrospection turns on per-step probes, visit tracking and the
+// greedy-action cache. Idempotent; there is deliberately no way to turn it
+// off, so observers never race a disable.
+func (a *Agent) EnableIntrospection() {
+	if a.visited == nil {
+		a.visited = make([]bool, a.cfg.States)
+		if a.started {
+			a.visited[a.lastState] = true
+			a.visitedCount = 1
+		}
+	}
+	// Eligibility traces update many state-action pairs per step, which
+	// would invalidate the whole cache every step; that variant keeps the
+	// scan-based probe path instead.
+	if !a.introspect && !a.cfg.tracesEnabled() {
+		a.buildGreedyCache()
+	}
+	a.introspect = true
+}
+
+// LastProbe returns the probe of the most recent Step, computing QSpread on
+// demand. Zero before the first probed step or when introspection is off.
+func (a *Agent) LastProbe() Probe {
+	p := a.probe
+	if a.introspect && a.lastUpd >= 0 {
+		p.QSpread = a.spreadAt(a.lastUpd)
+	}
+	return p
+}
+
+// VisitedStates counts distinct states the agent has occupied since
+// introspection was enabled — the numerator of visit-count coverage.
+func (a *Agent) VisitedStates() int { return a.visitedCount }
+
+// TakeFlips returns the number of greedy-policy flips recorded since the
+// previous call and resets the counter — the exact any-flip signal a
+// strided learning-telemetry emitter needs between emits.
+func (a *Agent) TakeFlips() int {
+	f := a.flips
+	a.flips = 0
+	return f
+}
+
+// noteTD records the step's TD error when introspection is on. Each update
+// branch calls it with its own δ.
+func (a *Agent) noteTD(delta float64) {
+	if a.introspect {
+		a.probe.TDError = delta
+	}
+}
+
+// buildGreedyCache (re)computes the greedy action and value of every state
+// under the selection values. Called once at EnableIntrospection and again
+// whenever a table was mutated behind the agent's back (Set/CopyFrom mark
+// the table dirty).
+func (a *Agent) buildGreedyCache() {
+	if a.greedyAct == nil {
+		a.greedyAct = make([]int32, a.cfg.States)
+		a.greedyVal = make([]float64, a.cfg.States)
+	}
+	for s := 0; s < a.cfg.States; s++ {
+		act, val := a.bestWithValue(s)
+		a.greedyAct[s], a.greedyVal[s] = int32(act), val
+	}
+	a.table.dirty = false
+	if a.table2 != nil {
+		a.table2.dirty = false
+	}
+	a.cacheOK = true
+}
+
+// guardCache rebuilds the greedy cache after an external table mutation.
+// One branch on the hot path; rebuilds are rare (warm-start loads, tests).
+func (a *Agent) guardCache() {
+	if a.cacheOK && (a.table.dirty || (a.table2 != nil && a.table2.dirty)) {
+		a.buildGreedyCache()
+	}
+}
+
+// bestWithValue is Best under the selection values (combined estimators for
+// double Q-learning).
+func (a *Agent) bestWithValue(s int) (int, float64) {
+	if a.table2 != nil {
+		return a.bestCombined(s)
+	}
+	return a.table.Best(s)
+}
+
+// noteUpdate maintains the greedy cache after the step's single-entry
+// update changed (s, act)'s selection value to v, and records policy churn.
+// The incremental cases reproduce Table.Best's lowest-index tie-breaking
+// exactly; only a fallen cached maximum forces a row rescan.
+func (a *Agent) noteUpdate(s, act int, v float64) {
+	if !a.cacheOK {
+		return
+	}
+	flipped := false
+	cur := int(a.greedyAct[s])
+	switch {
+	case act == cur:
+		if v >= a.greedyVal[s] {
+			// The maximum rose (or held): no lower-index action can have
+			// caught up, so the greedy action is unchanged.
+			a.greedyVal[s] = v
+		} else {
+			na, nv := a.bestWithValue(s)
+			a.greedyAct[s], a.greedyVal[s] = int32(na), nv
+			flipped = na != cur
+		}
+	case v > a.greedyVal[s], v == a.greedyVal[s] && act < cur:
+		a.greedyAct[s], a.greedyVal[s] = int32(act), v
+		flipped = true
+	}
+	if a.introspect {
+		a.probe.GreedyChanged = flipped
+	}
+	if flipped {
+		a.flips++
+	}
+}
+
+// finishProbe fills the remaining probe fields after the update. Called
+// from Step only when introspection is on, with lastState/lastAct still
+// pointing at the updated pair. With the cache active GreedyChanged was
+// already recorded by noteUpdate and ActedGreedy is a single lookup; the
+// traces variant falls back to row scans.
+func (a *Agent) finishProbe(prevBest, next, nextAct int) {
+	if a.cacheOK {
+		a.probe.ActedGreedy = nextAct == int(a.greedyAct[next])
+	} else {
+		a.probe.GreedyChanged = a.bestAction(a.lastState) != prevBest
+		if a.probe.GreedyChanged {
+			a.flips++
+		}
+		a.probe.ActedGreedy = nextAct == a.bestAction(next)
+	}
+	a.lastUpd = a.lastState
+	a.markVisited(next)
+}
+
+// markVisited records occupancy of state s.
+func (a *Agent) markVisited(s int) {
+	if a.visited != nil && !a.visited[s] {
+		a.visited[s] = true
+		a.visitedCount++
+	}
+}
+
+// spreadAt is max−min over the selection values of state s.
+func (a *Agent) spreadAt(s int) float64 {
+	lo := a.valueOf(s, 0)
+	hi := lo
+	for i := 1; i < a.cfg.Actions; i++ {
+		v := a.valueOf(s, i)
+		if v > hi {
+			hi = v
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	return hi - lo
+}
+
+// CopyTo copies the table's values into dst, which must have exactly
+// states×actions capacity — the zero-allocation export the policy-snapshot
+// layer builds on.
+func (t *Table) CopyTo(dst []float64) error {
+	if len(dst) != len(t.q) {
+		return fmt.Errorf("rl: CopyTo dst has %d values, table has %d", len(dst), len(t.q))
+	}
+	copy(dst, t.q)
+	return nil
+}

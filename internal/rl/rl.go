@@ -112,6 +112,10 @@ func (c Config) Validate() error {
 type Table struct {
 	states, actions int
 	q               []float64
+	// dirty marks mutations made outside the agent's own update paths
+	// (Set, CopyFrom, UnmarshalJSON); the owning agent's greedy cache
+	// rebuilds before its next read.
+	dirty bool
 }
 
 // NewTable allocates a table initialised to initialQ.
@@ -129,7 +133,14 @@ func NewTable(states, actions int, initialQ float64) *Table {
 func (t *Table) Get(s, a int) float64 { return t.q[s*t.actions+a] }
 
 // Set assigns Q(s, a).
-func (t *Table) Set(s, a int, v float64) { t.q[s*t.actions+a] = v }
+func (t *Table) Set(s, a int, v float64) {
+	t.q[s*t.actions+a] = v
+	t.dirty = true
+}
+
+// setRaw assigns Q(s, a) from the agent's own update paths, which maintain
+// the greedy cache incrementally and so skip the dirty mark.
+func (t *Table) setRaw(s, a int, v float64) { t.q[s*t.actions+a] = v }
 
 // Best returns the greedy action and its value for state s; ties break
 // toward the lowest action index so results are deterministic.
@@ -165,6 +176,21 @@ type Agent struct {
 
 	// scratch for softmax
 	probs []float64
+
+	// introspection (see introspect.go); off by default and free when off.
+	introspect   bool
+	probe        Probe
+	visited      []bool
+	visitedCount int
+
+	// Greedy-action cache under the selection values, maintained
+	// incrementally by noteUpdate; active only with introspection on and
+	// eligibility traces off (traces rewrite too many entries per step).
+	cacheOK   bool
+	greedyAct []int32
+	greedyVal []float64
+	flips     int // greedy flips since TakeFlips
+	lastUpd   int // most recently updated state, -1 before the first probed step
 }
 
 // NewAgent creates an agent. The RNG drives exploration.
@@ -176,10 +202,11 @@ func NewAgent(cfg Config, r *rng.RNG) (*Agent, error) {
 		return nil, fmt.Errorf("rl: nil rng")
 	}
 	a := &Agent{
-		cfg:   cfg,
-		table: NewTable(cfg.States, cfg.Actions, cfg.InitialQ),
-		r:     r,
-		probs: make([]float64, cfg.Actions),
+		cfg:     cfg,
+		table:   NewTable(cfg.States, cfg.Actions, cfg.InitialQ),
+		r:       r,
+		probs:   make([]float64, cfg.Actions),
+		lastUpd: -1,
 	}
 	if cfg.Algorithm == DoubleQLearning {
 		a.table2 = NewTable(cfg.States, cfg.Actions, cfg.InitialQ)
@@ -218,8 +245,13 @@ func (a *Agent) valueOf(s, act int) float64 {
 	return a.table.Get(s, act)
 }
 
-// bestAction is the greedy action under the selection value.
+// bestAction is the greedy action under the selection value. With the
+// introspection cache active it is a single lookup; the cache is maintained
+// to agree with a full scan exactly, ties included.
 func (a *Agent) bestAction(s int) int {
+	if a.cacheOK {
+		return int(a.greedyAct[s])
+	}
 	if a.table2 != nil {
 		act, _ := a.bestCombined(s)
 		return act
@@ -272,9 +304,11 @@ func (a *Agent) selectAction(s int) int {
 // action. No learning happens.
 func (a *Agent) Begin(s int) int {
 	a.checkState(s)
+	a.guardCache()
 	act := a.selectAction(s)
 	a.lastState, a.lastAct = s, act
 	a.started = true
+	a.markVisited(s)
 	return act
 }
 
@@ -286,7 +320,16 @@ func (a *Agent) Step(reward float64, next int) int {
 		panic("rl: Step before Begin")
 	}
 	a.checkState(next)
+	a.guardCache()
 	nextAct := a.selectAction(next)
+
+	// prevBest is captured before the update so the scan-based probe path
+	// can report greedy churn; with the cache active, noteUpdate records
+	// churn during the update instead.
+	var prevBest int
+	if a.introspect && !a.cacheOK {
+		prevBest = a.bestAction(a.lastState)
+	}
 
 	switch {
 	case a.cfg.Algorithm == DoubleQLearning:
@@ -296,11 +339,29 @@ func (a *Agent) Step(reward float64, next int) int {
 	case a.cfg.Algorithm == SARSA:
 		bootstrap := a.table.Get(next, nextAct)
 		old := a.table.Get(a.lastState, a.lastAct)
-		a.table.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(reward+a.cfg.Gamma*bootstrap-old))
+		delta := reward + a.cfg.Gamma*bootstrap - old
+		nv := old + a.cfg.Alpha*delta
+		a.table.setRaw(a.lastState, a.lastAct, nv)
+		a.noteTD(delta)
+		a.noteUpdate(a.lastState, a.lastAct, nv)
 	default: // QLearning
-		_, bootstrap := a.table.Best(next)
+		var bootstrap float64
+		if a.cacheOK {
+			// The cached greedy value equals Best(next)'s value exactly.
+			bootstrap = a.greedyVal[next]
+		} else {
+			_, bootstrap = a.table.Best(next)
+		}
 		old := a.table.Get(a.lastState, a.lastAct)
-		a.table.Set(a.lastState, a.lastAct, old+a.cfg.Alpha*(reward+a.cfg.Gamma*bootstrap-old))
+		delta := reward + a.cfg.Gamma*bootstrap - old
+		nv := old + a.cfg.Alpha*delta
+		a.table.setRaw(a.lastState, a.lastAct, nv)
+		a.noteTD(delta)
+		a.noteUpdate(a.lastState, a.lastAct, nv)
+	}
+
+	if a.introspect {
+		a.finishProbe(prevBest, next, nextAct)
 	}
 
 	a.lastState, a.lastAct = next, nextAct
@@ -311,6 +372,7 @@ func (a *Agent) Step(reward float64, next int) int {
 // Greedy returns the greedy action at state s without exploring or learning.
 func (a *Agent) Greedy(s int) int {
 	a.checkState(s)
+	a.guardCache()
 	return a.bestAction(s)
 }
 

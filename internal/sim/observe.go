@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/manycore"
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 )
 
@@ -17,6 +18,11 @@ var DefaultObserver obs.Observer
 // is nil — the run-health counterpart of DefaultObserver, and wired the
 // same way: set once at process startup by CLIs.
 var DefaultMonitor *monitor.Monitor
+
+// DefaultLearn, when non-nil, attaches learning introspection to every run
+// whose Options.Learn is nil — wired the same way as DefaultObserver: set
+// once at process startup by CLIs.
+var DefaultLearn *learn.Layer
 
 // eventScratch holds the reusable per-sample aggregation buffers for one
 // run's epoch events, so sampling allocates nothing after the first epoch.

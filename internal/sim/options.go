@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/variation"
 	"repro/internal/workload"
@@ -82,6 +83,13 @@ type Options struct {
 	// simulation results are bit-identical with it on or off. Falls back
 	// to DefaultMonitor when nil.
 	Monitor *monitor.Monitor
+	// Learn, when set, attaches the learning-introspection layer (see
+	// package obs/learn) to controllers that stream learning samples
+	// (ctrl.LearnStreamer): per-agent TD-error/churn/coverage telemetry,
+	// online convergence detection and optional policy snapshots. Strictly
+	// read-only — results are bit-identical with it on or off. Falls back
+	// to DefaultLearn when nil; controllers without learning stream nothing.
+	Learn *learn.Layer
 	// Workers bounds the goroutines sharding the per-core simulation and
 	// control loops (the `-j` knob): 0 uses one worker per CPU, 1 forces
 	// fully sequential execution. Results are bit-identical for any

@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/obs/learn"
 	"repro/internal/power"
 	"repro/internal/rng"
 	"repro/internal/variation"
@@ -221,19 +222,20 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 			defer ss.SetSpanSink(nil)
 		}
 	}
+	meta := obs.RunMeta{
+		Controller: c.Name(),
+		Workload:   opts.Workload,
+		Cores:      opts.Cores,
+		BudgetW:    opts.BudgetW,
+		EpochS:     opts.EpochS,
+		Seed:       opts.Seed,
+	}
 	var (
 		runObs  obs.RunObserver
 		scratch *eventScratch
 	)
 	if observer != nil {
-		runObs = observer.BeginRun(obs.RunMeta{
-			Controller: c.Name(),
-			Workload:   opts.Workload,
-			Cores:      opts.Cores,
-			BudgetW:    opts.BudgetW,
-			EpochS:     opts.EpochS,
-			Seed:       opts.Seed,
-		})
+		runObs = observer.BeginRun(meta)
 		defer runObs.End()
 		scratch = newEventScratch(cfg)
 	}
@@ -243,6 +245,33 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	}
 	detailSampler, _ := runObs.(obs.EpochDetailSampler)
 
+	// Learning introspection: attach the layer's sink to controllers that
+	// stream learning samples. Everything here is read-only over the
+	// decision stream (the byte-identical golden tests pin that), so runs
+	// are unchanged with the layer on or off.
+	lrn := opts.Learn
+	if lrn == nil {
+		lrn = DefaultLearn
+	}
+	var (
+		runLearn  *learn.Run
+		learnObs  obs.LearnObserver
+		policySrc ctrl.PolicySnapshotter
+	)
+	if lrn != nil {
+		if ls, ok := c.(ctrl.LearnStreamer); ok {
+			lscratch := scratch
+			if lscratch == nil {
+				lscratch = newEventScratch(cfg)
+			}
+			runLearn = lrn.BeginRun(meta, lscratch.islandOf, len(lscratch.islands))
+			ls.SetLearnSink(runLearn)
+			defer ls.SetLearnSink(nil)
+			policySrc, _ = c.(ctrl.PolicySnapshotter)
+			learnObs, _ = runObs.(obs.LearnObserver)
+		}
+	}
+
 	var (
 		meter      power.Meter
 		instrStart float64
@@ -251,6 +280,11 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 		trace      []TracePoint
 	)
 	out := make([]int, opts.Cores)
+	// One telemetry buffer for the whole run: StepInto rewrites every slot
+	// each epoch and nothing downstream retains tel.Cores past the epoch
+	// (observers and controllers copy what they keep), so the per-epoch
+	// slice allocation — the dominant GC load of a run — disappears.
+	var tel manycore.Telemetry
 
 	for e := 0; e < totalEpochs; e++ {
 		if e == warmupEpochs {
@@ -285,7 +319,7 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 			// see the reduced budget.
 			budget = inj.FilterBudget(tStart, budget)
 		}
-		tel := chip.Step(opts.EpochS)
+		chip.StepInto(opts.EpochS, &tel)
 
 		measuring := e >= warmupEpochs
 		if measuring {
@@ -310,6 +344,19 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 			decide = time.Since(start)
 			ctrlTime += decide
 		}
+		if runLearn != nil {
+			// Convergence events are rare and delivered unconditionally,
+			// like faults; the drain itself must run every epoch so pending
+			// events never pile up when no trace is attached.
+			runLearn.DrainConverged(func(cv *obs.ConvergedEvent) {
+				cv.Epoch = e - warmupEpochs
+				cv.TimeS = tel.TimeS
+				if learnObs != nil {
+					learnObs.ObserveConverged(cv)
+				}
+			})
+			runLearn.MaybeSnapshot(tel.TimeS, policySrc)
+		}
 		if runObs != nil && measuring {
 			me := e - warmupEpochs
 			if runObs.ShouldSample(me) {
@@ -324,17 +371,43 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 				if tel.TruePowerW > budget {
 					ev.OvershootW = tel.TruePowerW - budget
 				}
-				if detailSampler == nil || detailSampler.WantsEpochDetail(me) {
+				detail := detailSampler == nil || detailSampler.WantsEpochDetail(me)
+				if detail {
 					scratch.fill(&ev, &tel)
 				} else {
 					scratch.fillLight(&ev, &tel)
 				}
+				if runLearn != nil {
+					runLearn.FillEvent(&ev)
+				}
 				runObs.ObserveEpoch(&ev)
+				if runLearn != nil && learnObs != nil {
+					le := obs.LearnEvent{Epoch: me, TimeS: tel.TimeS}
+					runLearn.FillLearnEvent(&le, detail)
+					learnObs.ObserveLearn(&le)
+				}
 			}
 		}
 		for i, l := range out {
 			chip.SetLevel(i, l)
 		}
+	}
+
+	if runLearn != nil {
+		// Detach before Finish so the controller flushes any partial emit
+		// window (strided sinks); the deferred detach is then a no-op. The
+		// flush can fire last-window convergence events, so drain once more.
+		if ls, ok := c.(ctrl.LearnStreamer); ok {
+			ls.SetLearnSink(nil)
+		}
+		runLearn.DrainConverged(func(cv *obs.ConvergedEvent) {
+			cv.Epoch = totalEpochs - warmupEpochs - 1
+			cv.TimeS = chip.TimeS()
+			if learnObs != nil {
+				learnObs.ObserveConverged(cv)
+			}
+		})
+		runLearn.Finish(chip.TimeS(), policySrc)
 	}
 
 	var localS, globalS float64
@@ -351,23 +424,23 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 
 	comm := c.CommPerEpoch(mesh)
 	summary := metrics.Summary{
-		Controller:   c.Name(),
-		Workload:     opts.Workload,
-		Cores:        opts.Cores,
-		BudgetW:      opts.BudgetW,
-		DurS:         meter.TimeS(),
-		Instr:        chip.Instructions() - instrStart,
-		EnergyJ:      meter.EnergyJ(),
-		OverJ:        meter.OverBudgetJ(),
-		OverTimeS:    meter.OverBudgetTimeS(),
-		PeakW:        meter.PeakW(),
-		MeanW:        meter.MeanW(),
-		MaxTempK:     maxTempK,
+		Controller:      c.Name(),
+		Workload:        opts.Workload,
+		Cores:           opts.Cores,
+		BudgetW:         opts.BudgetW,
+		DurS:            meter.TimeS(),
+		Instr:           chip.Instructions() - instrStart,
+		EnergyJ:         meter.EnergyJ(),
+		OverJ:           meter.OverBudgetJ(),
+		OverTimeS:       meter.OverBudgetTimeS(),
+		PeakW:           meter.PeakW(),
+		MeanW:           meter.MeanW(),
+		MaxTempK:        maxTempK,
 		CtrlTimeS:       ctrlTime.Seconds(),
 		CtrlLocalTimeS:  localS,
 		CtrlGlobalTimeS: globalS,
 		CommEnergyJ:     comm.EnergyJ * float64(measureEpochs),
-		CommLatencyS: comm.LatencyS * float64(measureEpochs),
+		CommLatencyS:    comm.LatencyS * float64(measureEpochs),
 	}
 	if err := summary.Validate(); err != nil {
 		return Result{}, fmt.Errorf("sim: inconsistent summary: %w", err)
