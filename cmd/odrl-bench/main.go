@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,6 +41,7 @@ func main() {
 		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
 		benchMon    = flag.String("bench-monitor", "", "measure monitoring-off-vs-on wall clock and write a JSON report (e.g. BENCH_monitor.json) to this file, then exit")
 		benchLearn  = flag.String("bench-learn", "", "measure learning-introspection-off-vs-on wall clock and write a JSON report (e.g. BENCH_learn.json) to this file, then exit")
+		benchStep   = flag.String("bench-step", "", "measure single-thread epoch-kernel throughput (struct-of-arrays vs reference) and write a JSON report (e.g. BENCH_step.json) to this file, then exit non-zero if the speedup gate fails")
 		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
 		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
@@ -50,8 +53,40 @@ func main() {
 		learnOn     = flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
 		snapEvery   = flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
 		artifacts   = flag.String("artifacts", "", "record every run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file on clean exit (go tool pprof format)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on clean exit, after a final GC")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+				return
+			}
+			runtime.GC() // settle to live objects so the profile shows retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *benchPar != "" {
 		rep, err := experiments.BenchPar(*workers)
@@ -75,6 +110,36 @@ func main() {
 				c.Name, c.Workers, c.SequentialS, c.ParallelS, c.Speedup)
 		}
 		fmt.Printf("report written to %s (%d CPUs)\n", *benchPar, rep.HostCPUs)
+		return
+	}
+
+	if *benchStep != "" {
+		rep, err := experiments.BenchStep(experiments.Config{Quick: *quick})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*benchStep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		werr := rep.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cases {
+			fmt.Printf("%-24s cores=%-5d soa %10.0f ep/s  ref %9.0f ep/s  speedup %.2fx\n",
+				c.Name, c.Cores, c.EpochsPerSec, c.ReferenceEpochsPerSec, c.Speedup)
+		}
+		fmt.Printf("report written to %s (%d CPUs)\n", *benchStep, rep.HostCPUs)
+		if !*quick && !rep.Gate.Pass {
+			fmt.Fprintf(os.Stderr, "odrl-bench: throughput gate FAILED: %s speedup %.2fx < %.1fx\n",
+				rep.Gate.Case, rep.Gate.Speedup, rep.Gate.MinSpeedup)
+			os.Exit(1)
+		}
 		return
 	}
 

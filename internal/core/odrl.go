@@ -238,6 +238,33 @@ type Controller struct {
 	learnBuf   []obs.LearnCoreSample
 	learnEvery int
 	learnPend  int
+
+	// epsCache memoises the shared exploration schedule: every live agent
+	// sits at the same step count, so Decide warms the cache once per
+	// epoch (one math.Pow) and the sharded decide loop reads it.
+	epsCache *rl.EpsilonCache
+
+	// Persistent local-phase workers: the pool parks between epochs and
+	// the dispatch closure is built once, reading the per-epoch inputs
+	// through decTel/decOut, so steady-state Decide allocates nothing.
+	pool     *par.Pool
+	decideFn func(lo, hi int)
+	decTel   *manycore.Telemetry
+	decOut   []int
+
+	// reallocW is reallocate's grant-weight scratch. Dead indices are
+	// never read (every pass skips them) and live indices are overwritten
+	// each call, so reuse is bit-exact.
+	reallocW []float64
+}
+
+// Close releases the controller's persistent worker pool, if any. Safe to
+// call more than once; a closed controller keeps working sequentially.
+func (c *Controller) Close() error {
+	if c.pool != nil {
+		c.pool.Close()
+	}
+	return nil
 }
 
 // New creates an OD-RL controller for a chip with the given core count,
@@ -332,6 +359,13 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 			agents[i] = a
 		}
 	}
+	var epsCache *rl.EpsilonCache
+	if agents != nil {
+		epsCache = rl.NewEpsilonCache(rlCfg.EpsilonStart, rlCfg.EpsilonEnd, rlCfg.EpsilonDecay)
+		for _, a := range agents {
+			a.AttachEpsilonCache(epsCache)
+		}
+	}
 
 	minOp := table.Min()
 	c := &Controller{
@@ -349,10 +383,12 @@ func New(cores int, table *vf.Table, pwr power.Params, cfg Config) (*Controller,
 		hwFloor: pwr.CoreW(minOp.VoltageV, minOp.FreqHz, 0.2, 330),
 		budgets: make([]float64, cores),
 		// Reward normalisation: the fastest plausible core, ~2 IPC at fmax.
-		maxIPS: 2 * table.Max().FreqHz,
-		phases: obs.NewSpanTimer(obs.PhaseLocal, obs.PhaseGlobal, obs.PhaseComm),
-		dead:   make([]bool, cores),
-		alive:  cores,
+		maxIPS:   2 * table.Max().FreqHz,
+		phases:   obs.NewSpanTimer(obs.PhaseLocal, obs.PhaseGlobal, obs.PhaseComm),
+		dead:     make([]bool, cores),
+		alive:    cores,
+		epsCache: epsCache,
+		reallocW: make([]float64, cores),
 	}
 	if cfg.WatchdogEpochs > 0 {
 		c.wdLastIPS = make([]float64, cores)
@@ -498,16 +534,37 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 	// layer is embarrassingly parallel; only reallocation is global). The
 	// phase span records the wall-clock of the whole sharded section.
 	localStart := time.Now()
+	// Warm the shared ε memo with the lockstep step count before any
+	// worker reads it: live agents sit at epoch−1 steps (Begin consumes
+	// the first epoch without learning). Agents behind a watchdog hold
+	// miss the cache and compute inline, so the warm value only has to
+	// match the lockstep majority.
+	if c.epsCache != nil {
+		s := c.epoch - 1
+		if s < 0 {
+			s = 0
+		}
+		c.epsCache.WarmAt(s)
+	}
 	if workers := c.localWorkers(n); workers > 1 {
-		par.ForEachChunk(workers, n, func(lo, hi int) {
-			var x []float64
-			if c.linAgents != nil {
-				x = make([]float64, 3) // per-chunk FA state scratch
+		if c.pool == nil {
+			c.pool = par.NewPool(workers)
+			// One closure for the controller's lifetime; per-epoch inputs
+			// travel through decTel/decOut so dispatch allocates nothing.
+			c.decideFn = func(lo, hi int) {
+				var x []float64
+				if c.linAgents != nil {
+					x = make([]float64, 3) // per-chunk FA state scratch
+				}
+				tel, out := c.decTel, c.decOut
+				for i := lo; i < hi; i++ {
+					out[i] = c.decideCore(i, tel, x)
+				}
 			}
-			for i := lo; i < hi; i++ {
-				out[i] = c.decideCore(i, tel, x)
-			}
-		})
+		}
+		c.decTel, c.decOut = tel, out
+		c.pool.ForEachChunk(n, c.decideFn)
+		c.decTel, c.decOut = nil, nil
 	} else {
 		if c.linAgents != nil && c.xScratch == nil {
 			c.xScratch = make([]float64, 3)
@@ -705,7 +762,7 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	// keep a small weight so the distribution stays smooth rather than
 	// oscillating between harvest and grant.
 	weightSum := 0.0
-	weights := make([]float64, n)
+	weights := c.reallocW
 	for i := 0; i < n; i++ {
 		if c.dead[i] {
 			continue

@@ -295,7 +295,70 @@ type Chip struct {
 	corePowerW []float64
 	temps      []float64
 	instrDelta []float64
-	noiseBuf   []float64 // pre-drawn sensor noise, parallel path only
+	noiseBuf   []float64 // pre-drawn sensor noise for the whole epoch
+
+	// Struct-of-arrays kernel state, built once in New. Levels are
+	// discrete, so everything level-indexed is precomputed: freqsHz and
+	// voltsV alias the VF table's slabs, lut holds the leakage Pow prefix
+	// per level, and fixedLeakW is the full per-level leakage when the
+	// thermal loop is off (temperature then never leaves ambient).
+	nLevels   int
+	freqsHz   []float64
+	voltsV    []float64
+	lut       *power.LUT
+	fixedLeak []float64
+	// Per-core multiplier slabs fold process variation and core-type
+	// heterogeneity into one multiply each, combined in the reference
+	// kernel's order (variation first, then core type) so the products
+	// round identically. ipcMult is the per-core IPCMult divisor for
+	// BaseCPI; hetero gates the division so homogeneous chips skip it
+	// entirely, as the reference kernel does.
+	freqMultC []float64
+	dynMultC  []float64
+	leakMultC []float64
+	ipcMult   []float64
+	hetero    bool
+	uniform   bool
+	// workSrcs caches the WorkSource type assertion per core at install
+	// time; nil means a plain Source. Shared-state lanes are stepped
+	// fresh every epoch (their phase can flip when another lane advances)
+	// while plain sources qualify for the phase memo below.
+	workSrcs []workload.WorkSource
+	// procSrcs caches the dominant concrete source type per core, again
+	// at install time, so the epoch kernel calls Advance directly rather
+	// than through the interface table; nil falls back to the interface
+	// call. Same method, same arithmetic — devirtualization only.
+	procSrcs []*workload.Process
+	// Phase memo: memoIPS/memoDyn/memoMemB[i*nLevels+l] cache the three
+	// phase×level-derived quantities, valid while memoVer[i*nLevels+l]
+	// equals phaseVer[i]. phaseVer starts at 1 (memoVer at 0, so every
+	// slot starts invalid) and increments when core i's source reports a
+	// phase change. phCache/phVer additionally cache the scaled (and
+	// heterogeneity-adjusted) Phase value itself per core, so a memo miss
+	// for a new level re-derives only the level-dependent physics, not
+	// the interface call and scale multiplies. Cached values are produced
+	// by the exact instruction sequence the reference kernel runs, so a
+	// hit replays identical bits. ReferenceStepInto advances sources
+	// without maintaining phaseVer and therefore sets memoPoisoned;
+	// StepInto then rebuilds.
+	phaseVer     []uint32
+	memoVer      []uint32
+	memoIPS      []float64
+	memoDyn      []float64
+	memoMemB     []float64
+	phCache      []workload.Phase
+	phVer        []uint32
+	memoPoisoned bool
+	// islandsTrivial marks 1×1 islands (per-core DVFS), enabling the
+	// branch-light request-latch loop in resolveIslands.
+	islandsTrivial bool
+
+	// pool holds the persistent shard workers for parallel stepping,
+	// created on first use and released by Close (or a finalizer).
+	pool    *par.Pool
+	stepFn  func(lo, hi int)
+	stepDt  float64
+	stepTel *Telemetry
 }
 
 // New builds a chip running the given per-core workload sources. The number
@@ -316,6 +379,7 @@ func New(cfg Config, sources []workload.Source, r *rng.RNG) (*Chip, error) {
 	if r == nil {
 		return nil, fmt.Errorf("manycore: nil rng")
 	}
+	nl := cfg.VF.Levels()
 	c := &Chip{
 		cfg:          cfg,
 		sources:      sources,
@@ -328,19 +392,79 @@ func New(cfg Config, sources []workload.Source, r *rng.RNG) (*Chip, error) {
 		temps:        make([]float64, n),
 		instrDelta:   make([]float64, n),
 		indepSources: true,
+		nLevels:      nl,
+		freqsHz:      cfg.VF.FreqsHz(),
+		voltsV:       cfg.VF.VoltagesV(),
+		lut:          power.NewLUT(cfg.Power, cfg.VF.VoltagesV()),
+		freqMultC:    make([]float64, n),
+		dynMultC:     make([]float64, n),
+		leakMultC:    make([]float64, n),
+		workSrcs:     make([]workload.WorkSource, n),
+		procSrcs:     make([]*workload.Process, n),
+		phaseVer:     make([]uint32, n),
+		memoVer:      make([]uint32, n*nl),
+		memoIPS:      make([]float64, n*nl),
+		memoDyn:      make([]float64, n*nl),
+		memoMemB:     make([]float64, n*nl),
+		phCache:      make([]workload.Phase, n),
+		phVer:        make([]uint32, n),
 	}
-	for _, s := range sources {
+	if !cfg.ThermalEnabled {
+		c.fixedLeak = c.lut.FixedTempLeakageW(cfg.Thermal.AmbientK)
+	}
+	iw, ih := cfg.islandDims()
+	c.islandsTrivial = iw == 1 && ih == 1
+	for i, s := range sources {
 		// WorkSource lanes (barrier apps, job systems) share application
 		// state across cores, so advancing them concurrently would race
 		// and reorder barrier releases; such chips always step
 		// sequentially. This assertion is the only shared-state signal, so
 		// any wrapper delegating to a WorkSource must itself implement
 		// WorkSource (see the invariant on workload.Source) or it would
-		// wrongly pass this check and race under parallel stepping.
-		if _, shared := s.(workload.WorkSource); shared {
+		// wrongly pass this check and race under parallel stepping. The
+		// result is cached per core: the kernel consults it every epoch
+		// (both for work-coupled advancement and to gate the phase memo)
+		// and has no business re-asserting an interface there.
+		if ws, shared := s.(workload.WorkSource); shared {
 			c.indepSources = false
+			c.workSrcs[i] = ws
+		} else if p, ok := s.(*workload.Process); ok {
+			c.procSrcs[i] = p
+		}
+	}
+	c.hetero = len(cfg.CoreTypes) > 0
+	if c.hetero {
+		c.ipcMult = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
+		if v := cfg.Variation; v != nil {
+			leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
+		}
+		if c.hetero {
+			ct := cfg.CoreTypes[cfg.TypeOf[i]]
+			c.ipcMult[i] = ct.IPCMult
+			dynMult *= ct.CeffMult
+			leakMult *= ct.LeakMult
+		}
+		c.freqMultC[i] = freqMult
+		c.dynMultC[i] = dynMult
+		c.leakMultC[i] = leakMult
+	}
+	// uniform means every per-core multiplier is exactly 1.0, so the
+	// kernel may skip the multiplies outright: x*1.0 is the IEEE-754
+	// identity, bit for bit, and skipping the loads drops three slab
+	// streams from the hot loop. Detected by scanning rather than from
+	// config flags so any future multiplier source stays covered.
+	c.uniform = true
+	for i := 0; i < n; i++ {
+		if c.freqMultC[i] != 1 || c.dynMultC[i] != 1 || c.leakMultC[i] != 1 {
+			c.uniform = false
 			break
 		}
+	}
+	for i := range c.phaseVer {
+		c.phaseVer[i] = 1
 	}
 	for i := range c.levels {
 		c.levels[i] = cfg.InitialLevel
@@ -419,8 +543,19 @@ func (c *Chip) CoreDead(core int) bool { return c.dead != nil && c.dead[core] }
 
 // resolveIslands applies the pending requests: each island takes the max
 // requested level of its cores; a core whose effective level changes is
-// charged a transition stall for the coming epoch.
+// charged a transition stall for the coming epoch. Per-core DVFS (1×1
+// islands, the common case) latches requests directly: the max over a
+// single core is the request itself, since levels are non-negative.
 func (c *Chip) resolveIslands() {
+	if c.islandsTrivial {
+		for i, r := range c.requested {
+			if c.levels[i] != r {
+				c.levels[i] = r
+				c.transitioned[i] = true
+			}
+		}
+		return
+	}
 	iw, ih := c.cfg.islandDims()
 	for y0 := 0; y0 < c.cfg.Height; y0 += ih {
 		for x0 := 0; x0 < c.cfg.Width; x0 += iw {
@@ -488,110 +623,247 @@ func (c *Chip) stepWorkers() int {
 	return par.Workers(c.cfg.Workers, c.NumCores())
 }
 
-// stepCore advances core i by dt and writes only index-i state: its
-// telemetry slot, power/instruction scratch entries and its own workload
-// source. noise, when non-nil, holds the core's three pre-drawn
-// standard-normal sensor variates in draw order (IPS, power,
-// memory-boundedness); nil draws them inline from the shared chip stream,
-// which is only legal on the sequential path.
-func (c *Chip) stepCore(i int, dt float64, tel *Telemetry, noise []float64) {
-	observe := func(k int, v float64) float64 {
-		if c.cfg.SensorNoise == 0 {
-			return v
-		}
-		var z float64
-		if noise != nil {
-			z = noise[k]
+// scaledPhase returns core i's current phase with scale and core-type CPI
+// adjustment applied, through a per-core cache refreshed only when the
+// source reported a phase change. Phase is a pure function of the
+// source's discrete state between changes (the Source invariant), so the
+// cached value is the identical bits a fresh call would produce.
+func (c *Chip) scaledPhase(i int) workload.Phase {
+	if c.phVer[i] != c.phaseVer[i] {
+		var ph workload.Phase
+		if p := c.procSrcs[i]; p != nil {
+			ph = p.ScaledPhase()
 		} else {
-			z = c.noise.NormFloat64()
+			ph = c.sources[i].Phase()
 		}
-		o := v * (1 + c.cfg.SensorNoise*z)
-		if o < 0 {
-			o = 0
+		if c.hetero {
+			ph.BaseCPI /= c.ipcMult[i]
 		}
-		return o
+		c.phCache[i] = ph
+		c.phVer[i] = c.phaseVer[i]
 	}
+	return c.phCache[i]
+}
 
-	if c.dead != nil && c.dead[i] {
-		// Powered-off core: retires nothing, burns nothing, workload
-		// frozen. The three observe calls still run (on zero, which they
-		// return unchanged) so the sensor-noise stream advances exactly as
-		// for a live core — dead cores must not shift the draws of their
-		// neighbours, or sequential and parallel stepping would diverge.
-		observe(0, 0)
-		observe(1, 0)
-		observe(2, 0)
-		c.corePowerW[i] = 0
-		c.instrDelta[i] = 0
-		tel.Cores[i] = CoreTelemetry{Dead: true}
-		return
+// phasePhysics derives the three phase×level quantities by running the
+// exact instruction sequence the reference kernel runs per epoch: IPSAt,
+// DynamicW×dynMult, MemBoundednessAt. Keeping the operation order
+// identical is what makes a later memo hit bit-equal to recomputing —
+// reassociating any of these products would silently fork every RL
+// trajectory from the goldens.
+func (c *Chip) phasePhysics(ph workload.Phase, i, lvl int) (ips, pDyn, memB float64) {
+	if c.uniform {
+		freq := c.freqsHz[lvl]
+		ips = ph.IPSAt(freq)
+		pDyn = c.cfg.Power.DynamicW(c.voltsV[lvl], freq, ph.Activity)
+		memB = ph.MemBoundednessAt(freq)
+		return ips, pDyn, memB
 	}
+	freq := c.freqsHz[lvl] * c.freqMultC[i]
+	ips = ph.IPSAt(freq)
+	pDyn = c.cfg.Power.DynamicW(c.voltsV[lvl], freq, ph.Activity) * c.dynMultC[i]
+	memB = ph.MemBoundednessAt(freq)
+	return ips, pDyn, memB
+}
 
-	ph := c.sources[i].Phase()
-	op := c.cfg.VF.Point(c.levels[i])
-	temp := c.temps[i]
-
-	stall := 0.0
-	if c.transitioned[i] {
-		stall = c.cfg.TransitionPenaltyS
-		if stall > dt {
-			stall = dt
+// stepRange advances cores [lo, hi) by dt, writing only index-owned
+// state: telemetry slots, power/instruction scratch entries and each
+// core's own workload source. Sensor variates were pre-drawn into
+// noiseBuf (3 per core in core order) by StepInto, so the kernel never
+// touches the RNG; dead cores' variates stay unused but allocated, which
+// keeps the stream aligned with fault-free runs. The slab locals exist to
+// hoist field loads and nil checks out of the per-core loop.
+//
+// With fuse set (sequential path only), the instruction and chip-power
+// reductions run inside the loop and the true chip power is returned:
+// the accumulation order — instrTotal ascending by core, UncoreW then
+// cores ascending for power — is exactly the order the separate
+// post-passes use, so fusing changes no rounding. The sharded path must
+// not fuse (per-chunk partial sums would reassociate the adds) and
+// passes fuse=false, ignoring the return value.
+func (c *Chip) stepRange(lo, hi int, dt float64, tel *Telemetry, fuse bool) float64 {
+	var (
+		levels    = c.levels
+		temps     = c.temps
+		trans     = c.transitioned
+		corePW    = c.corePowerW
+		delta     = c.instrDelta
+		cores     = tel.Cores
+		freqs     = c.freqsHz
+		volts     = c.voltsV
+		fMult     = c.freqMultC
+		leakMult  = c.leakMultC
+		fixedLeak = c.fixedLeak
+		memoVer   = c.memoVer
+		memoIPS   = c.memoIPS
+		memoDyn   = c.memoDyn
+		memoMemB  = c.memoMemB
+		phaseVer  = c.phaseVer
+		workSrcs  = c.workSrcs
+		procSrcs  = c.procSrcs
+		sources   = c.sources
+		dead      = c.dead
+		nl        = c.nLevels
+		penalty   = c.cfg.TransitionPenaltyS
+		sn        = c.cfg.SensorNoise
+		noiseBuf  = c.noiseBuf
+		lut       = c.lut
+	)
+	noiseOn := sn != 0
+	uniform := c.uniform
+	instrByCore := c.instrByCore
+	instrTotal, truePower := 0.0, 0.0
+	if fuse {
+		instrTotal = c.instrTotal
+		truePower = c.cfg.Power.UncoreW
+	}
+	if lo < hi {
+		// Anchor the per-core slabs' bounds checks once per range:
+		// proving hi-1 indexes in range lets the compiler drop the
+		// per-iteration checks inside the loop below.
+		last := hi - 1
+		_ = levels[last]
+		_ = temps[last]
+		_ = trans[last]
+		_ = corePW[last]
+		_ = delta[last]
+		_ = cores[last]
+		_ = fMult[last]
+		_ = leakMult[last]
+		_ = phaseVer[last]
+		_ = workSrcs[last]
+		_ = procSrcs[last]
+		_ = sources[last]
+		_ = instrByCore[last]
+	}
+	for i := lo; i < hi; i++ {
+		if dead != nil && dead[i] {
+			corePW[i] = 0
+			delta[i] = 0
+			cores[i] = CoreTelemetry{Dead: true}
+			if fuse {
+				instrByCore[i] += 0
+				instrTotal += 0
+				truePower += 0
+			}
+			continue
 		}
-		c.transitioned[i] = false
+
+		lvl := levels[i]
+		temp := temps[i]
+
+		stall := 0.0
+		if trans[i] {
+			stall = penalty
+			if stall > dt {
+				stall = dt
+			}
+			trans[i] = false
+		}
+		active := dt - stall
+
+		var ips, pDyn, memB float64
+		ws := workSrcs[i]
+		if ws == nil {
+			m := i*nl + lvl
+			if memoVer[m] == phaseVer[i] {
+				ips, pDyn, memB = memoIPS[m], memoDyn[m], memoMemB[m]
+			} else {
+				ips, pDyn, memB = c.phasePhysics(c.scaledPhase(i), i, lvl)
+				memoIPS[m], memoDyn[m], memoMemB[m] = ips, pDyn, memB
+				memoVer[m] = phaseVer[i]
+			}
+		} else {
+			// Shared-state lane: its phase may have flipped when
+			// another lane released a barrier or dispatched a job, with
+			// no change signal from this lane's own Advance — never
+			// memoise, sample fresh.
+			ph := sources[i].Phase()
+			if c.hetero {
+				ph.BaseCPI /= c.ipcMult[i]
+			}
+			ips, pDyn, memB = c.phasePhysics(ph, i, lvl)
+		}
+		var freq float64
+		if uniform {
+			freq = freqs[lvl]
+		} else {
+			freq = freqs[lvl] * fMult[i]
+		}
+		instr := ips * active
+
+		// Power: full during the active window, leakage-only during the
+		// stall (clocks gated while the PLL relocks). Leakage is the
+		// per-level Pow prefix times the temperature correction — or a
+		// single indexed load when the thermal loop is off and
+		// temperature is pinned at ambient.
+		var pLeak float64
+		if fixedLeak != nil {
+			pLeak = fixedLeak[lvl]
+		} else {
+			pLeak = lut.LeakageWAt(lvl, temp)
+		}
+		if !uniform {
+			pLeak *= leakMult[i]
+		}
+		pActive := pDyn + pLeak
+		avgP := (pActive*active + pLeak*stall) / dt
+		corePW[i] = avgP
+
+		// Work-coupled sources (barrier apps) progress by retired
+		// instructions, so a throttled core genuinely takes longer to
+		// reach its barrier.
+		var changed bool
+		if ws != nil {
+			changed = ws.AdvanceWork(dt, instr) > 0
+		} else {
+			if p := procSrcs[i]; p != nil {
+				changed = p.Advance(dt) > 0
+			} else {
+				changed = sources[i].Advance(dt) > 0
+			}
+			if changed {
+				phaseVer[i]++
+			}
+		}
+
+		delta[i] = instr
+		if fuse {
+			instrByCore[i] += instr
+			instrTotal += instr
+			truePower += avgP
+		}
+
+		obsIPS, obsP, obsMemB := instr/dt, avgP, memB
+		if noiseOn {
+			z := noiseBuf[3*i : 3*i+3 : 3*i+3]
+			if obsIPS = obsIPS * (1 + sn*z[0]); obsIPS < 0 {
+				obsIPS = 0
+			}
+			if obsP = obsP * (1 + sn*z[1]); obsP < 0 {
+				obsP = 0
+			}
+			if obsMemB = obsMemB * (1 + sn*z[2]); obsMemB < 0 {
+				obsMemB = 0
+			}
+		}
+
+		cores[i] = CoreTelemetry{
+			Level:          lvl,
+			FreqHz:         freq,
+			VoltageV:       volts[lvl],
+			IPS:            obsIPS,
+			PowerW:         obsP,
+			TempK:          temp,
+			MemBoundedness: clamp01(obsMemB),
+			Instructions:   instr,
+			PhaseChanged:   changed,
+		}
 	}
-	active := dt - stall
-
-	// Process variation scales this core's achievable frequency
-	// (critical-path spread) and its two power components.
-	leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
-	if v := c.cfg.Variation; v != nil {
-		leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
+	if fuse {
+		c.instrTotal = instrTotal
 	}
-	// Heterogeneous chips compose core-type multipliers on top:
-	// a big core retires more per cycle and burns more per switch.
-	if len(c.cfg.CoreTypes) > 0 {
-		ct := c.cfg.CoreTypes[c.cfg.TypeOf[i]]
-		ph.BaseCPI /= ct.IPCMult
-		dynMult *= ct.CeffMult
-		leakMult *= ct.LeakMult
-	}
-	freq := op.FreqHz * freqMult
-
-	ips := ph.IPSAt(freq)
-	instr := ips * active
-
-	// Power: full during the active window, leakage-only during the
-	// stall (clocks gated while the PLL relocks).
-	pDyn := c.cfg.Power.DynamicW(op.VoltageV, freq, ph.Activity) * dynMult
-	pLeak := c.cfg.Power.LeakageW(op.VoltageV, temp) * leakMult
-	pActive := pDyn + pLeak
-	pStall := pLeak
-	avgP := (pActive*active + pStall*stall) / dt
-	c.corePowerW[i] = avgP
-
-	// Work-coupled sources (barrier apps) progress by retired
-	// instructions, so a throttled core genuinely takes longer to
-	// reach its barrier.
-	var changed bool
-	if ws, ok := c.sources[i].(workload.WorkSource); ok {
-		changed = ws.AdvanceWork(dt, instr) > 0
-	} else {
-		changed = c.sources[i].Advance(dt) > 0
-	}
-
-	c.instrDelta[i] = instr
-
-	tel.Cores[i] = CoreTelemetry{
-		Level:          c.levels[i],
-		FreqHz:         freq,
-		VoltageV:       op.VoltageV,
-		IPS:            observe(0, instr/dt),
-		PowerW:         observe(1, avgP),
-		TempK:          temp,
-		MemBoundedness: clamp01(observe(2, ph.MemBoundednessAt(freq))),
-		Instructions:   instr,
-		PhaseChanged:   changed,
-	}
+	return truePower
 }
 
 // Step advances the chip by dt seconds and returns the epoch telemetry.
@@ -620,9 +892,20 @@ func (c *Chip) Step(dt float64) Telemetry {
 // Telemetry each epoch steps the chip without allocating — at 64 cores the
 // fresh slice is ~5 KB/epoch, which otherwise dominates the harness's GC
 // load. The caller must not retain tel.Cores across calls.
+//
+// This is the struct-of-arrays kernel: all sensor-noise variates for the
+// epoch are pre-drawn into one buffer (3 per core in core order, the
+// identical stream the inline draws consumed), per-core physics reads
+// level-indexed lookup tables and the phase memo instead of re-deriving
+// transcendentals, and parallel dispatch goes to the chip's persistent
+// shard workers. Results are bit-identical to ReferenceStepInto for every
+// worker count — the regression tests compare the two field by field.
 func (c *Chip) StepInto(dt float64, tel *Telemetry) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))
+	}
+	if c.memoPoisoned {
+		c.resetMemo()
 	}
 	c.resolveIslands()
 	n := c.NumCores()
@@ -632,44 +915,60 @@ func (c *Chip) StepInto(dt float64, tel *Telemetry) {
 	}
 	*tel = Telemetry{EpochS: dt, Cores: cores[:n]}
 
+	noiseOn := c.cfg.SensorNoise != 0
+	if noiseOn {
+		if c.noiseBuf == nil {
+			c.noiseBuf = make([]float64, 3*n)
+		}
+		for i := range c.noiseBuf {
+			c.noiseBuf[i] = c.noise.NormFloat64()
+		}
+	}
+
+	var truePower float64
 	if workers := c.stepWorkers(); workers > 1 {
-		if c.cfg.SensorNoise != 0 {
-			if c.noiseBuf == nil {
-				c.noiseBuf = make([]float64, 3*n)
+		if c.pool == nil {
+			c.pool = par.NewPool(workers)
+			// One closure for the life of the chip: per-epoch inputs
+			// travel through stepDt/stepTel so the hot loop allocates
+			// nothing, not even a closure header.
+			c.stepFn = func(lo, hi int) {
+				c.stepRange(lo, hi, c.stepDt, c.stepTel, false)
 			}
-			for i := range c.noiseBuf {
-				c.noiseBuf[i] = c.noise.NormFloat64()
-			}
-			par.ForEachChunk(workers, n, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					c.stepCore(i, dt, tel, c.noiseBuf[3*i:3*i+3])
-				}
-			})
-		} else {
-			par.ForEachChunk(workers, n, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					c.stepCore(i, dt, tel, nil)
-				}
-			})
 		}
-	} else {
+		c.stepDt, c.stepTel = dt, tel
+		c.pool.ForEachChunk(n, c.stepFn)
+		c.stepTel = nil
+		// Index-order reductions: per-core instruction totals and the
+		// chip power sum accumulate in ascending core order, so the
+		// floating-point rounding sequence is independent of the worker
+		// count. ChipW's summation order (uncore floor first, then cores
+		// ascending) is replicated inline to fuse the two passes. The
+		// sequential path below fuses this same reduction, in the same
+		// order, into the kernel loop itself.
+		instrTotal := c.instrTotal
+		truePower = c.cfg.Power.UncoreW
 		for i := 0; i < n; i++ {
-			c.stepCore(i, dt, tel, nil)
+			d := c.instrDelta[i]
+			c.instrByCore[i] += d
+			instrTotal += d
+			truePower += c.corePowerW[i]
 		}
+		c.instrTotal = instrTotal
+	} else {
+		truePower = c.stepRange(0, n, dt, tel, true)
 	}
 
-	for i := 0; i < n; i++ {
-		c.instrByCore[i] += c.instrDelta[i]
-		c.instrTotal += c.instrDelta[i]
-	}
-
-	truePower := c.cfg.Power.ChipW(c.corePowerW)
 	c.energyJ += truePower * dt
 	c.timeS += dt
 
 	if c.therm != nil {
 		c.therm.Step(c.corePowerW, dt)
-		c.therm.Temps(c.temps)
+		// Adopt the model's slab as the chip's temperature slab: same
+		// values the old per-epoch copy produced, without the copy. The
+		// view is re-fetched every epoch because Euler sub-steps swap the
+		// model's working buffers.
+		c.temps = c.therm.TempsView()
 	}
 
 	tel.TimeS = c.timeS
@@ -679,6 +978,33 @@ func (c *Chip) StepInto(dt float64, tel *Telemetry) {
 	// faults it injects are independent of the worker count above.
 	if c.telFilter != nil {
 		c.telFilter.FilterTelemetry(tel)
+	}
+}
+
+// resetMemo invalidates every phase-memo slot; called when the reference
+// kernel advanced sources without maintaining phase versions.
+func (c *Chip) resetMemo() {
+	for i := range c.memoVer {
+		c.memoVer[i] = 0
+	}
+	for i := range c.phVer {
+		c.phVer[i] = 0
+	}
+	for i := range c.phaseVer {
+		c.phaseVer[i] = 1
+	}
+	c.memoPoisoned = false
+}
+
+// Close releases the chip's persistent shard workers. It is safe to call
+// on any chip (including ones that never stepped in parallel) and more
+// than once; a closed chip keeps working, stepping sequentially. Chips
+// that are simply dropped are cleaned up by a pool finalizer, but
+// long-lived processes that churn through many chips should Close them
+// promptly.
+func (c *Chip) Close() {
+	if c.pool != nil {
+		c.pool.Close()
 	}
 }
 

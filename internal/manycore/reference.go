@@ -1,0 +1,196 @@
+package manycore
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// This file preserves the pre-optimization epoch kernel, verbatim. It
+// exists for two reasons:
+//
+//  1. Oracle: TestReferenceKernelBitEqual steps identically-built chips
+//     through both kernels and requires every telemetry field, energy and
+//     instruction count to match to the last bit — the strongest possible
+//     statement that the struct-of-arrays kernel is a pure optimization.
+//  2. Baseline: the BENCH_step.json throughput gate measures the ≥5×
+//     claim against this kernel live on the current host, rather than
+//     against a number recorded on some other machine.
+//
+// A chip must be driven by exactly one kernel per run for its memo state
+// to be meaningful; ReferenceStepInto therefore poisons the fast kernel's
+// phase memo, which StepInto rebuilds from scratch on its next call.
+
+// ReferenceStepInto advances the chip exactly like StepInto but through
+// the retained pre-optimization kernel: per-core vf.Point calls, math.Pow
+// leakage, per-epoch Phase() sampling, inline sensor-noise draws on the
+// sequential path and fork/join dispatch on the parallel one. Results are
+// bit-identical to StepInto by construction of the fast kernel (not the
+// other way around) — the regression tests enforce it.
+func (c *Chip) ReferenceStepInto(dt float64, tel *Telemetry) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))
+	}
+	c.memoPoisoned = true
+	c.resolveIslands()
+	n := c.NumCores()
+	cores := tel.Cores
+	if cap(cores) < n {
+		cores = make([]CoreTelemetry, n)
+	}
+	*tel = Telemetry{EpochS: dt, Cores: cores[:n]}
+
+	if workers := c.stepWorkers(); workers > 1 {
+		if c.cfg.SensorNoise != 0 {
+			if c.noiseBuf == nil {
+				c.noiseBuf = make([]float64, 3*n)
+			}
+			for i := range c.noiseBuf {
+				c.noiseBuf[i] = c.noise.NormFloat64()
+			}
+			par.ForEachChunk(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c.referenceStepCore(i, dt, tel, c.noiseBuf[3*i:3*i+3])
+				}
+			})
+		} else {
+			par.ForEachChunk(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c.referenceStepCore(i, dt, tel, nil)
+				}
+			})
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			c.referenceStepCore(i, dt, tel, nil)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		c.instrByCore[i] += c.instrDelta[i]
+		c.instrTotal += c.instrDelta[i]
+	}
+
+	truePower := c.cfg.Power.ChipW(c.corePowerW)
+	c.energyJ += truePower * dt
+	c.timeS += dt
+
+	if c.therm != nil {
+		c.therm.Step(c.corePowerW, dt)
+		c.temps = c.therm.Temps(c.temps)
+	}
+
+	tel.TimeS = c.timeS
+	tel.TruePowerW = truePower
+	tel.ChipPowerW = c.observed(truePower)
+	if c.telFilter != nil {
+		c.telFilter.FilterTelemetry(tel)
+	}
+}
+
+// referenceStepCore is the pre-optimization per-core epoch body: it walks
+// pointer-rich structs behind interfaces (vf.Point copy, Phase() call,
+// transcendental leakage) every epoch. noise, when non-nil, holds the
+// core's three pre-drawn standard-normal sensor variates in draw order
+// (IPS, power, memory-boundedness); nil draws them inline from the shared
+// chip stream, which is only legal on the sequential path.
+func (c *Chip) referenceStepCore(i int, dt float64, tel *Telemetry, noise []float64) {
+	observe := func(k int, v float64) float64 {
+		if c.cfg.SensorNoise == 0 {
+			return v
+		}
+		var z float64
+		if noise != nil {
+			z = noise[k]
+		} else {
+			z = c.noise.NormFloat64()
+		}
+		o := v * (1 + c.cfg.SensorNoise*z)
+		if o < 0 {
+			o = 0
+		}
+		return o
+	}
+
+	if c.dead != nil && c.dead[i] {
+		// Powered-off core: retires nothing, burns nothing, workload
+		// frozen. The three observe calls still run (on zero, which they
+		// return unchanged) so the sensor-noise stream advances exactly as
+		// for a live core — dead cores must not shift the draws of their
+		// neighbours, or sequential and parallel stepping would diverge.
+		observe(0, 0)
+		observe(1, 0)
+		observe(2, 0)
+		c.corePowerW[i] = 0
+		c.instrDelta[i] = 0
+		tel.Cores[i] = CoreTelemetry{Dead: true}
+		return
+	}
+
+	ph := c.sources[i].Phase()
+	op := c.cfg.VF.Point(c.levels[i])
+	temp := c.temps[i]
+
+	stall := 0.0
+	if c.transitioned[i] {
+		stall = c.cfg.TransitionPenaltyS
+		if stall > dt {
+			stall = dt
+		}
+		c.transitioned[i] = false
+	}
+	active := dt - stall
+
+	// Process variation scales this core's achievable frequency
+	// (critical-path spread) and its two power components.
+	leakMult, dynMult, freqMult := 1.0, 1.0, 1.0
+	if v := c.cfg.Variation; v != nil {
+		leakMult, dynMult, freqMult = v.LeakMult[i], v.DynMult[i], v.FreqMult[i]
+	}
+	// Heterogeneous chips compose core-type multipliers on top:
+	// a big core retires more per cycle and burns more per switch.
+	if len(c.cfg.CoreTypes) > 0 {
+		ct := c.cfg.CoreTypes[c.cfg.TypeOf[i]]
+		ph.BaseCPI /= ct.IPCMult
+		dynMult *= ct.CeffMult
+		leakMult *= ct.LeakMult
+	}
+	freq := op.FreqHz * freqMult
+
+	ips := ph.IPSAt(freq)
+	instr := ips * active
+
+	// Power: full during the active window, leakage-only during the
+	// stall (clocks gated while the PLL relocks).
+	pDyn := c.cfg.Power.DynamicW(op.VoltageV, freq, ph.Activity) * dynMult
+	pLeak := c.cfg.Power.LeakageW(op.VoltageV, temp) * leakMult
+	pActive := pDyn + pLeak
+	pStall := pLeak
+	avgP := (pActive*active + pStall*stall) / dt
+	c.corePowerW[i] = avgP
+
+	// Work-coupled sources (barrier apps) progress by retired
+	// instructions, so a throttled core genuinely takes longer to
+	// reach its barrier.
+	var changed bool
+	if ws, ok := c.sources[i].(workload.WorkSource); ok {
+		changed = ws.AdvanceWork(dt, instr) > 0
+	} else {
+		changed = c.sources[i].Advance(dt) > 0
+	}
+
+	c.instrDelta[i] = instr
+
+	tel.Cores[i] = CoreTelemetry{
+		Level:          c.levels[i],
+		FreqHz:         freq,
+		VoltageV:       op.VoltageV,
+		IPS:            observe(0, instr/dt),
+		PowerW:         observe(1, avgP),
+		TempK:          temp,
+		MemBoundedness: clamp01(observe(2, ph.MemBoundednessAt(freq))),
+		Instructions:   instr,
+		PhaseChanged:   changed,
+	}
+}

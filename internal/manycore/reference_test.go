@@ -1,0 +1,212 @@
+package manycore
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/variation"
+	"repro/internal/workload"
+)
+
+// buildHeteroChip builds a chip exercising every physics feature the
+// kernels touch: sensor noise, process variation, big.LITTLE core types,
+// 2×2 voltage islands, and (optionally) the thermal loop.
+func buildHeteroChip(t testing.TB, w, h, workers int, thermal bool) *Chip {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	cfg.Workers = workers
+	cfg.ThermalEnabled = thermal
+	cfg.IslandW, cfg.IslandH = 2, 2
+	cfg.CoreTypes = BigLittleTypes()
+	cfg.TypeOf = make([]int, w*h)
+	for i := range cfg.TypeOf {
+		cfg.TypeOf[i] = i % 2
+	}
+	vmap, err := variation.Generate(w, h, variation.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Variation = vmap
+
+	base := rng.New(99)
+	sources := make([]workload.Source, w*h)
+	names := workload.PresetNames()
+	for i := range sources {
+		p, err := workload.NewProcess(workload.MustPreset(names[i%len(names)]), base.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = p
+	}
+	chip, err := New(cfg, sources, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+// stepKernels drives two identically-built chips — one through the
+// struct-of-arrays kernel, one through the retained reference kernel —
+// and requires every telemetry field, energy and instruction count to
+// match exactly, under level churn and mid-run core death.
+func stepKernels(t *testing.T, fast, ref *Chip, epochs int) {
+	t.Helper()
+	n := fast.NumCores()
+	levels := fast.Config().VF.Levels()
+	var ftel, rtel Telemetry
+	for e := 0; e < epochs; e++ {
+		fast.StepInto(1e-3, &ftel)
+		ref.ReferenceStepInto(1e-3, &rtel)
+		if ftel.TimeS != rtel.TimeS || ftel.ChipPowerW != rtel.ChipPowerW || ftel.TruePowerW != rtel.TruePowerW {
+			t.Fatalf("epoch %d: chip telemetry diverged: fast {t=%v p=%v tp=%v} ref {t=%v p=%v tp=%v}",
+				e, ftel.TimeS, ftel.ChipPowerW, ftel.TruePowerW, rtel.TimeS, rtel.ChipPowerW, rtel.TruePowerW)
+		}
+		for i := 0; i < n; i++ {
+			if ftel.Cores[i] != rtel.Cores[i] {
+				t.Fatalf("epoch %d core %d:\nfast %+v\nref  %+v", e, i, ftel.Cores[i], rtel.Cores[i])
+			}
+		}
+		// Level churn exercises transition stalls and every memo level.
+		for i := 0; i < n; i++ {
+			lvl := (e*3 + i) % levels
+			fast.SetLevel(i, lvl)
+			ref.SetLevel(i, lvl)
+		}
+		// Kill a couple of cores mid-run: dead cores must keep the
+		// noise streams aligned in both kernels.
+		if e == epochs/2 {
+			fast.FailCore(3)
+			ref.FailCore(3)
+			fast.FailCore(n - 1)
+			ref.FailCore(n - 1)
+		}
+	}
+	if fast.EnergyJ() != ref.EnergyJ() {
+		t.Fatalf("energy diverged: fast %v ref %v", fast.EnergyJ(), ref.EnergyJ())
+	}
+	if fast.Instructions() != ref.Instructions() {
+		t.Fatalf("instructions diverged: fast %v ref %v", fast.Instructions(), ref.Instructions())
+	}
+	for i := 0; i < n; i++ {
+		if fast.CoreInstructions(i) != ref.CoreInstructions(i) {
+			t.Fatalf("core %d instructions diverged", i)
+		}
+	}
+}
+
+// TestReferenceKernelBitEqual is the oracle for the SoA kernel rewrite:
+// with the thermal loop on and off, sequentially and sharded, the fast
+// kernel must reproduce the pre-optimization kernel bit for bit.
+func TestReferenceKernelBitEqual(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		thermal bool
+	}{
+		{"thermal-j1", 1, true},
+		{"thermal-j4", 4, true},
+		{"fixedtemp-j1", 1, false},
+		{"fixedtemp-j4", 4, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := buildHeteroChip(t, 16, 16, tc.workers, tc.thermal)
+			ref := buildHeteroChip(t, 16, 16, tc.workers, tc.thermal)
+			defer fast.Close()
+			defer ref.Close()
+			stepKernels(t, fast, ref, 80)
+		})
+	}
+}
+
+// TestReferenceKernelBitEqualHomogeneous covers the no-variation,
+// no-hetero, no-island fast paths (the default platform shape) plus the
+// noise-free configuration, where the kernels must also agree.
+func TestReferenceKernelBitEqualHomogeneous(t *testing.T) {
+	for _, noise := range []float64{0, 0.02} {
+		cfgMod := func(workers int) *Chip {
+			cfg := DefaultConfig()
+			cfg.Width, cfg.Height = 16, 16
+			cfg.Workers = workers
+			cfg.SensorNoise = noise
+			base := rng.New(41)
+			sources := make([]workload.Source, 256)
+			names := workload.PresetNames()
+			for i := range sources {
+				p, err := workload.NewProcess(workload.MustPreset(names[i%len(names)]), base.Split())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sources[i] = p
+			}
+			chip, err := New(cfg, sources, rng.New(13))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return chip
+		}
+		fast, ref := cfgMod(4), cfgMod(4)
+		defer fast.Close()
+		defer ref.Close()
+		stepKernels(t, fast, ref, 60)
+	}
+}
+
+// TestReferenceKernelBitEqualBarrier covers shared-state WorkSource lanes,
+// where the phase memo must stay disabled: a lane's phase flips when
+// another lane releases the barrier.
+func TestReferenceKernelBitEqualBarrier(t *testing.T) {
+	build := func() *Chip {
+		const w, h = 8, 8
+		cfg := DefaultConfig()
+		cfg.Width, cfg.Height = w, h
+		work := workload.Phase{
+			Class: workload.Compute, BaseCPI: 0.85, MPKI: 2.0,
+			MemLatencyNs: 75, Activity: 0.9,
+		}
+		app, err := workload.NewBarrierApp(w*h, work, 30e6, 0.2, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources := make([]workload.Source, w*h)
+		for i := range sources {
+			sources[i] = app.Lane(i)
+		}
+		chip, err := New(cfg, sources, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chip
+	}
+	fast, ref := build(), build()
+	defer fast.Close()
+	defer ref.Close()
+	stepKernels(t, fast, ref, 120)
+}
+
+// TestKernelSwitchRebuildsMemo: a chip driven through the reference kernel
+// mid-run must not serve stale memo entries when the fast kernel resumes —
+// ReferenceStepInto advances phases without maintaining versions, so it
+// poisons the memo.
+func TestKernelSwitchRebuildsMemo(t *testing.T) {
+	mixed := buildHeteroChip(t, 8, 8, 1, true)
+	pure := buildHeteroChip(t, 8, 8, 1, true)
+	defer mixed.Close()
+	defer pure.Close()
+	var mtel, ptel Telemetry
+	for e := 0; e < 90; e++ {
+		// Both kernels are bit-equal, so alternating them on one chip
+		// must match a pure fast-kernel chip exactly.
+		if e%3 == 2 {
+			mixed.ReferenceStepInto(1e-3, &mtel)
+		} else {
+			mixed.StepInto(1e-3, &mtel)
+		}
+		pure.StepInto(1e-3, &ptel)
+		for i := range ptel.Cores {
+			if mtel.Cores[i] != ptel.Cores[i] {
+				t.Fatalf("epoch %d core %d: mixed-kernel chip diverged:\nmixed %+v\npure  %+v", e, i, mtel.Cores[i], ptel.Cores[i])
+			}
+		}
+	}
+}

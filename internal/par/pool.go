@@ -1,0 +1,128 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent chunked-dispatch worker pool: the goroutines are
+// spawned once at construction and park on a channel between calls, so a
+// caller that dispatches the same index space every epoch (the chip step
+// kernel, the OD-RL local phase) pays a channel handoff per shard per
+// epoch instead of a goroutine spawn + scheduler wakeup per shard per
+// epoch. Dispatch is allocation-free: the chunk descriptors travel by
+// value and completion is tracked by a WaitGroup owned by the pool.
+//
+// Determinism: ForEachChunk splits [0, n) with arithmetic identical to the
+// package-level ForEachChunk, so a caller obeying the package contract
+// (index-owned writes, randomness pre-split before dispatch) produces
+// bit-identical results whether it uses a Pool, the fork/join helper, or a
+// plain sequential loop. Scheduling order across parked workers is
+// unobservable by construction.
+//
+// A Pool must be used by one goroutine at a time (calls are fully
+// synchronous — ForEachChunk returns only after every chunk ran — and the
+// completion WaitGroup is reused across calls). Close releases the
+// workers; it is idempotent, must not race a ForEachChunk, and a closed
+// pool falls back to inline sequential execution, so a late caller
+// degrades to correct-but-serial rather than deadlocking. Workers hold a
+// reference to the request channel only, never to the Pool, so an
+// abandoned Pool is collectable and a finalizer closes it — Close is
+// still worth calling for prompt shutdown.
+type Pool struct {
+	workers int
+	req     chan poolChunk
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolChunk struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+// NewPool spawns a persistent pool (workers <= 0 means DefaultWorkers).
+// The calling goroutine always executes the first chunk itself, so a pool
+// sized w parks w-1 workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		req:     make(chan poolChunk, workers),
+	}
+	for i := 0; i < workers-1; i++ {
+		go poolWorker(p.req)
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+// poolWorker deliberately receives the channel, not the *Pool: a parked
+// worker must not keep an abandoned pool reachable, or its finalizer
+// could never run and the goroutines would leak for the process lifetime.
+func poolWorker(req <-chan poolChunk) {
+	for c := range req {
+		c.fn(c.lo, c.hi)
+		c.done.Done()
+	}
+}
+
+// Workers reports the pool's worker budget (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEachChunk splits [0, n) into at most min(p.Workers(), n) contiguous
+// chunks and runs fn(lo, hi) once per chunk, returning after all chunks
+// completed. Chunk boundaries match the package-level ForEachChunk
+// exactly. The caller's goroutine runs the first chunk; remaining chunks
+// go to the parked workers.
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || p.isClosed() {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.wg.Add(1)
+		p.req <- poolChunk{lo: lo, hi: hi, fn: fn, done: &p.wg}
+	}
+	fn(0, chunk)
+	p.wg.Wait()
+}
+
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close parks the pool permanently: the worker goroutines exit and later
+// ForEachChunk calls run inline. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.req)
+	runtime.SetFinalizer(p, nil)
+}

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// poolChunks records the chunk boundaries a dispatch produced, in index
+// order (chunks are disjoint so index-addressed writes need no lock).
+func poolChunks(dispatch func(n int, fn func(lo, hi int)), n int) [][2]int {
+	bounds := make([][2]int, n)
+	var count atomic.Int64
+	dispatch(n, func(lo, hi int) {
+		bounds[lo] = [2]int{lo, hi}
+		count.Add(1)
+	})
+	out := make([][2]int, 0, count.Load())
+	for lo := 0; lo < n; {
+		b := bounds[lo]
+		if b[1] <= lo {
+			break
+		}
+		out = append(out, b)
+		lo = b[1]
+	}
+	return out
+}
+
+// TestPoolChunkBoundariesMatchForEachChunk pins the determinism premise:
+// a Pool must split the index space exactly like the fork/join helper, for
+// every (workers, n) shape, so swapping one for the other can never change
+// which indices share a chunk.
+func TestPoolChunkBoundariesMatchForEachChunk(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 8, 64, 100, 127, 128, 129, 1024} {
+			want := poolChunks(func(n int, fn func(lo, hi int)) {
+				ForEachChunk(workers, n, fn)
+			}, n)
+			got := poolChunks(p.ForEachChunk, n)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d n=%d: pool made %d chunks, ForEachChunk %d", workers, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d chunk %d: pool %v, ForEachChunk %v", workers, n, i, got[i], want[i])
+				}
+			}
+			// Every index must be covered exactly once.
+			covered := 0
+			for _, b := range got {
+				covered += b[1] - b[0]
+			}
+			if covered != n {
+				t.Fatalf("workers=%d n=%d: chunks cover %d indices", workers, n, covered)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolReuse exercises the park/wake cycle many times on one pool: the
+// sum computed through index-owned slots must be right on every epoch, and
+// no dispatch may return before all its chunks ran.
+func TestPoolReuse(t *testing.T) {
+	const n = 257
+	p := NewPool(4)
+	defer p.Close()
+	slot := make([]int, n)
+	for epoch := 1; epoch <= 200; epoch++ {
+		p.ForEachChunk(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				slot[i] = epoch * i
+			}
+		})
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += slot[i]
+		}
+		if want := epoch * (n - 1) * n / 2; sum != want {
+			t.Fatalf("epoch %d: sum %d, want %d", epoch, sum, want)
+		}
+	}
+}
+
+// TestPoolCloseFallsBackInline: a closed pool must still execute calls
+// (inline), never hang or panic.
+func TestPoolCloseFallsBackInline(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // idempotent
+	var ran atomic.Int64
+	p.ForEachChunk(100, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 100 {
+		t.Fatalf("closed pool ran %d of 100 indices", ran.Load())
+	}
+}
+
+func TestPoolWorkersNormalised(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != DefaultWorkers() {
+		t.Fatalf("NewPool(0).Workers() = %d, want DefaultWorkers %d", p.Workers(), DefaultWorkers())
+	}
+	p1 := NewPool(-3)
+	defer p1.Close()
+	if p1.Workers() < 1 {
+		t.Fatalf("NewPool(-3).Workers() = %d", p1.Workers())
+	}
+}

@@ -1,0 +1,76 @@
+package power
+
+import "math"
+
+// LUT holds per-level precomputed leakage factors for a discrete VF
+// table. Levels are the only voltages the chip ever runs at, so the
+// math.Pow in LeakageW — constant per level — has no business executing
+// per core per epoch.
+//
+// Bit-exactness contract: LeakageWAt(l, t) returns the exact float64
+// LeakageW(voltagesV[l], t) returns, for every level and temperature.
+// That holds because LeakageW computes
+//
+//	v * ((LeakI0A * Pow(v/Vref, exp)) * Exp(coeff*(t-Tref)))
+//
+// left-associated, so caching the parenthesised Pow prefix per level and
+// replaying the remaining two multiplies in the same order reproduces the
+// identical rounding sequence. The golden-file regression tests depend on
+// this: any reassociation here would diverge every RL trajectory.
+type LUT struct {
+	p Params
+	// voltsV[l] is the supply voltage of level l (copied from the VF
+	// table slab).
+	voltsV []float64
+	// leakBase[l] = LeakI0A * Pow(voltsV[l]/VrefV, LeakVoltageExp): the
+	// temperature-independent prefix of the leakage current.
+	leakBase []float64
+}
+
+// NewLUT precomputes leakage factors for the given per-level voltages
+// (typically vf.Table.VoltagesV). The slice is copied.
+func NewLUT(p Params, voltagesV []float64) *LUT {
+	l := &LUT{
+		p:        p,
+		voltsV:   append([]float64(nil), voltagesV...),
+		leakBase: make([]float64, len(voltagesV)),
+	}
+	for i, v := range voltagesV {
+		if v <= 0 {
+			continue // LeakageW returns 0 for v <= 0; keep base at 0
+		}
+		l.leakBase[i] = p.LeakI0A * math.Pow(v/p.VrefV, p.LeakVoltageExp)
+	}
+	return l
+}
+
+// Levels returns the number of precomputed levels.
+func (l *LUT) Levels() int { return len(l.voltsV) }
+
+// LeakageWAt returns leakage power at level and temperature, bit-equal to
+// Params.LeakageW at that level's voltage. One Exp and two multiplies —
+// the Pow is amortised into construction.
+func (l *LUT) LeakageWAt(level int, tempK float64) float64 {
+	v := l.voltsV[level]
+	if v <= 0 {
+		return 0
+	}
+	i := l.leakBase[level] * math.Exp(l.p.LeakTempCoeffPerK*(tempK-l.p.TrefK))
+	return v * i
+}
+
+// FixedTempLeakageW returns a per-level leakage table at one fixed
+// temperature, bit-equal to Params.LeakageW per level. Chips without a
+// thermal model run every core at the ambient temperature forever, which
+// reduces per-core leakage to a single indexed load.
+func (l *LUT) FixedTempLeakageW(tempK float64) []float64 {
+	out := make([]float64, len(l.voltsV))
+	exp := math.Exp(l.p.LeakTempCoeffPerK * (tempK - l.p.TrefK))
+	for lev, v := range l.voltsV {
+		if v <= 0 {
+			continue
+		}
+		out[lev] = v * (l.leakBase[lev] * exp)
+	}
+	return out
+}

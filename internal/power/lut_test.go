@@ -1,0 +1,66 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// leakTestVoltages mirrors the default 8-level VF table's spread plus
+// degenerate values.
+var leakTestVoltages = []float64{0.55, 0.62, 0.71, 0.80, 0.89, 0.97, 1.06, 1.15}
+
+// TestLUTLeakageBitEqual pins the contract the epoch kernel relies on:
+// the LUT path and Params.LeakageW must agree to the last bit at every
+// level across a wide temperature range — not approximately, exactly,
+// because the golden-file tests compare RL trajectories byte-for-byte.
+func TestLUTLeakageBitEqual(t *testing.T) {
+	for _, p := range []Params{Default(), {
+		CeffF: 1e-9, LeakI0A: 0.7, VrefV: 1.0, TrefK: 300,
+		LeakTempCoeffPerK: 0.035, LeakVoltageExp: 2.1, UncoreW: 1,
+	}} {
+		lut := NewLUT(p, leakTestVoltages)
+		for lev, v := range leakTestVoltages {
+			for tempK := 250.0; tempK <= 420.0; tempK += 0.37 {
+				want := p.LeakageW(v, tempK)
+				got := lut.LeakageWAt(lev, tempK)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("level %d temp %.2f: LUT %x != LeakageW %x", lev, tempK, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLUTFixedTempBitEqual: the thermal-off fast path must also be exact.
+func TestLUTFixedTempBitEqual(t *testing.T) {
+	p := Default()
+	lut := NewLUT(p, leakTestVoltages)
+	for _, tempK := range []float64{300, 318, 345.25, 400} {
+		table := lut.FixedTempLeakageW(tempK)
+		for lev, v := range leakTestVoltages {
+			want := p.LeakageW(v, tempK)
+			if math.Float64bits(table[lev]) != math.Float64bits(want) {
+				t.Fatalf("level %d temp %g: fixed table %x != LeakageW %x", lev, tempK, table[lev], want)
+			}
+		}
+	}
+}
+
+// TestLUTNonPositiveVoltage: degenerate voltages behave like LeakageW
+// (zero), never NaN.
+func TestLUTNonPositiveVoltage(t *testing.T) {
+	p := Default()
+	lut := NewLUT(p, []float64{0, -1, 1.0})
+	if got := lut.LeakageWAt(0, 330); got != 0 {
+		t.Fatalf("v=0 leakage = %g, want 0", got)
+	}
+	if got := lut.LeakageWAt(1, 330); got != 0 {
+		t.Fatalf("v=-1 leakage = %g, want 0", got)
+	}
+	if got := lut.FixedTempLeakageW(330)[1]; got != 0 {
+		t.Fatalf("v=-1 fixed leakage = %g, want 0", got)
+	}
+	if lut.Levels() != 3 {
+		t.Fatalf("Levels() = %d, want 3", lut.Levels())
+	}
+}

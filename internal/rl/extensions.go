@@ -54,11 +54,17 @@ func (a *Agent) combinedQ(s, act int) float64 {
 	return (a.table.Get(s, act) + a.table2.Get(s, act)) / 2
 }
 
-// bestCombined is Best over the averaged estimators.
+// bestCombined is Best over the averaged estimators, walking both rows
+// directly rather than re-deriving the row base per cell; the per-cell
+// value is the same (q1+q2)/2 combinedQ computes, ties still breaking
+// toward the lowest action index.
 func (a *Agent) bestCombined(s int) (int, float64) {
-	act, val := 0, a.combinedQ(s, 0)
-	for i := 1; i < a.cfg.Actions; i++ {
-		if v := a.combinedQ(s, i); v > val {
+	base := s * a.cfg.Actions
+	q1 := a.table.q[base : base+a.cfg.Actions]
+	q2 := a.table2.q[base : base+a.cfg.Actions]
+	act, val := 0, (q1[0]+q2[0])/2
+	for i := 1; i < len(q1); i++ {
+		if v := (q1[i] + q2[i]) / 2; v > val {
 			act, val = i, v
 		}
 	}

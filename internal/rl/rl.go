@@ -177,6 +177,9 @@ type Agent struct {
 	// scratch for softmax
 	probs []float64
 
+	// shared exploration-schedule memo; nil means compute per call.
+	epsCache *EpsilonCache
+
 	// introspection (see introspect.go); off by default and free when off.
 	introspect   bool
 	probe        Probe
@@ -227,8 +230,56 @@ func NewAgent(cfg Config, r *rng.RNG) (*Agent, error) {
 // global layer, which reads Q-values as marginal-utility estimates).
 func (a *Agent) Table() *Table { return a.table }
 
+// EpsilonCache memoises one point of the exploration schedule
+// ε(t) = end + (start−end)·decay^t for a fleet of agents that march in
+// lockstep (the OD-RL local phase: every live agent takes exactly one
+// step per control epoch). The owner warms it once per epoch with the
+// fleet's common step count; each agent's Epsilon then skips its
+// math.Pow. The cached value is computed by the identical expression
+// Epsilon uses, so a hit is bit-equal to the inline computation.
+//
+// Agents only read the cache (a hit requires an exact step match; a miss
+// computes inline without writing), so a warmed cache is safe to share
+// across the sharded decide loop — and an agent that fell out of
+// lockstep (e.g. behind a telemetry watchdog) simply misses and pays the
+// Pow itself.
+type EpsilonCache struct {
+	start, end, decay float64
+	step              int
+	val               float64
+	ok                bool
+}
+
+// NewEpsilonCache creates a cold cache for the given schedule.
+func NewEpsilonCache(start, end, decay float64) *EpsilonCache {
+	return &EpsilonCache{start: start, end: end, decay: decay}
+}
+
+// WarmAt computes and stores ε at the given step count. Call from a
+// single goroutine, before any concurrent readers.
+func (ec *EpsilonCache) WarmAt(steps int) {
+	ec.val = ec.end + (ec.start-ec.end)*math.Pow(ec.decay, float64(steps))
+	ec.step = steps
+	ec.ok = true
+}
+
+// AttachEpsilonCache connects the agent to a shared schedule cache. It
+// reports false (and leaves the agent detached) if the cache's schedule
+// differs from the agent's — a mismatched cache would serve wrong values.
+func (a *Agent) AttachEpsilonCache(ec *EpsilonCache) bool {
+	c := a.cfg
+	if ec == nil || ec.start != c.EpsilonStart || ec.end != c.EpsilonEnd || ec.decay != c.EpsilonDecay {
+		return false
+	}
+	a.epsCache = ec
+	return true
+}
+
 // Epsilon returns the current exploration parameter.
 func (a *Agent) Epsilon() float64 {
+	if ec := a.epsCache; ec != nil && ec.ok && ec.step == a.steps {
+		return ec.val
+	}
 	c := a.cfg
 	return c.EpsilonEnd + (c.EpsilonStart-c.EpsilonEnd)*math.Pow(c.EpsilonDecay, float64(a.steps))
 }
@@ -272,15 +323,31 @@ func (a *Agent) selectAction(s int) int {
 		if tau < 1e-3 {
 			tau = 1e-3
 		}
-		maxQ := a.valueOf(s, 0)
+		// Walk the state's row(s) directly: valueOf per cell redoes the
+		// s*actions index math every call. The selection values are the
+		// same expressions ((q1+q2)/2 under double-Q), so the sampled
+		// distribution is bit-identical.
+		base := s * a.cfg.Actions
+		row := a.table.q[base : base+a.cfg.Actions]
+		var row2 []float64
+		if a.table2 != nil {
+			row2 = a.table2.q[base : base+a.cfg.Actions]
+		}
+		value := func(i int) float64 {
+			if row2 != nil {
+				return (row[i] + row2[i]) / 2
+			}
+			return row[i]
+		}
+		maxQ := value(0)
 		for i := 1; i < a.cfg.Actions; i++ {
-			if v := a.valueOf(s, i); v > maxQ {
+			if v := value(i); v > maxQ {
 				maxQ = v
 			}
 		}
 		sum := 0.0
 		for i := 0; i < a.cfg.Actions; i++ {
-			p := math.Exp((a.valueOf(s, i) - maxQ) / tau)
+			p := math.Exp((value(i) - maxQ) / tau)
 			a.probs[i] = p
 			sum += p
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"time"
@@ -175,6 +176,11 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The chip owns persistent shard workers that park between epochs;
+	// release them with the run. The controller is caller-owned (it may be
+	// inspected or reused after the run), so its pool is the caller's to
+	// close — RunAll closes the controllers it builds itself.
+	defer chip.Close()
 	cfg := chip.Config()
 
 	warmupEpochs, measureEpochs := opts.Epochs()
@@ -285,6 +291,24 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	// (observers and controllers copy what they keep), so the per-epoch
 	// slice allocation — the dominant GC load of a run — disappears.
 	var tel manycore.Telemetry
+	// Per-epoch observer events and the convergence-drain callback are
+	// hoisted out of the loop for the same reason: their addresses escape
+	// into interface calls, so loop-local declarations would heap-allocate
+	// every epoch. Observers copy what they keep, so reuse is safe; the
+	// callback reads its epoch context through drainEpoch/drainTimeS.
+	var (
+		epochEv    obs.EpochEvent
+		learnEv    obs.LearnEvent
+		drainEpoch int
+		drainTimeS float64
+	)
+	drainFn := func(cv *obs.ConvergedEvent) {
+		cv.Epoch = drainEpoch
+		cv.TimeS = drainTimeS
+		if learnObs != nil {
+			learnObs.ObserveConverged(cv)
+		}
+	}
 
 	for e := 0; e < totalEpochs; e++ {
 		if e == warmupEpochs {
@@ -348,19 +372,14 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 			// Convergence events are rare and delivered unconditionally,
 			// like faults; the drain itself must run every epoch so pending
 			// events never pile up when no trace is attached.
-			runLearn.DrainConverged(func(cv *obs.ConvergedEvent) {
-				cv.Epoch = e - warmupEpochs
-				cv.TimeS = tel.TimeS
-				if learnObs != nil {
-					learnObs.ObserveConverged(cv)
-				}
-			})
+			drainEpoch, drainTimeS = e-warmupEpochs, tel.TimeS
+			runLearn.DrainConverged(drainFn)
 			runLearn.MaybeSnapshot(tel.TimeS, policySrc)
 		}
 		if runObs != nil && measuring {
 			me := e - warmupEpochs
 			if runObs.ShouldSample(me) {
-				ev := obs.EpochEvent{
+				epochEv = obs.EpochEvent{
 					Epoch:    me,
 					TimeS:    tel.TimeS,
 					PowerW:   tel.TruePowerW,
@@ -369,22 +388,22 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 					DecideNs: int64(decide),
 				}
 				if tel.TruePowerW > budget {
-					ev.OvershootW = tel.TruePowerW - budget
+					epochEv.OvershootW = tel.TruePowerW - budget
 				}
 				detail := detailSampler == nil || detailSampler.WantsEpochDetail(me)
 				if detail {
-					scratch.fill(&ev, &tel)
+					scratch.fill(&epochEv, &tel)
 				} else {
-					scratch.fillLight(&ev, &tel)
+					scratch.fillLight(&epochEv, &tel)
 				}
 				if runLearn != nil {
-					runLearn.FillEvent(&ev)
+					runLearn.FillEvent(&epochEv)
 				}
-				runObs.ObserveEpoch(&ev)
+				runObs.ObserveEpoch(&epochEv)
 				if runLearn != nil && learnObs != nil {
-					le := obs.LearnEvent{Epoch: me, TimeS: tel.TimeS}
-					runLearn.FillLearnEvent(&le, detail)
-					learnObs.ObserveLearn(&le)
+					learnEv = obs.LearnEvent{Epoch: me, TimeS: tel.TimeS}
+					runLearn.FillLearnEvent(&learnEv, detail)
+					learnObs.ObserveLearn(&learnEv)
 				}
 			}
 		}
@@ -400,13 +419,8 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 		if ls, ok := c.(ctrl.LearnStreamer); ok {
 			ls.SetLearnSink(nil)
 		}
-		runLearn.DrainConverged(func(cv *obs.ConvergedEvent) {
-			cv.Epoch = totalEpochs - warmupEpochs - 1
-			cv.TimeS = chip.TimeS()
-			if learnObs != nil {
-				learnObs.ObserveConverged(cv)
-			}
-		})
+		drainEpoch, drainTimeS = totalEpochs-warmupEpochs-1, chip.TimeS()
+		runLearn.DrainConverged(drainFn)
 		runLearn.Finish(chip.TimeS(), policySrc)
 	}
 
@@ -498,6 +512,11 @@ func RunAll(opts Options, names []string) ([]Result, error) {
 			return nil, err
 		}
 		res, err := Run(opts, c)
+		// Controllers built here are single-run; release any persistent
+		// worker pool before moving on (harmless for poolless ones).
+		if cl, ok := c.(io.Closer); ok {
+			cl.Close()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: running %s: %w", name, err)
 		}

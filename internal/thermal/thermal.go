@@ -105,6 +105,14 @@ func (m *Model) Temps(dst []float64) []float64 {
 	return dst
 }
 
+// TempsView returns the model's internal temperature slab without
+// copying. The slice is read-only for the caller and is invalidated by
+// the next Step (forward Euler swaps its working buffers), so callers
+// must re-fetch the view after every Step rather than hold one. The epoch
+// kernel uses this to make the model's slab its per-core temperature
+// slab directly, eliminating the per-epoch Temps copy.
+func (m *Model) TempsView() []float64 { return m.temps }
+
 // MaxTemp returns the hottest node temperature.
 func (m *Model) MaxTemp() float64 {
 	max := m.temps[0]

@@ -28,6 +28,12 @@ type OperatingPoint struct {
 // Table is an ordered list of operating points, slowest first.
 type Table struct {
 	points []OperatingPoint
+	// Flat per-level slabs mirroring points, built once at construction.
+	// Hot loops index these instead of calling Point per core per epoch:
+	// a level lookup becomes one bounds-checked float64 load with no
+	// struct copy.
+	freqsHz   []float64
+	voltagesV []float64
 }
 
 // TechParams are the alpha-power-law constants used to derive voltage from
@@ -100,7 +106,16 @@ func NewTable(points []OperatingPoint) (*Table, error) {
 		}
 		ps[i].Level = i
 	}
-	return &Table{points: ps}, nil
+	t := &Table{
+		points:    ps,
+		freqsHz:   make([]float64, len(ps)),
+		voltagesV: make([]float64, len(ps)),
+	}
+	for i, p := range ps {
+		t.freqsHz[i] = p.FreqHz
+		t.voltagesV[i] = p.VoltageV
+	}
+	return t, nil
 }
 
 // Generate builds an n-level table spanning [fMin, fMax] Hz with voltages
@@ -173,6 +188,16 @@ func (t *Table) LevelForFreq(f float64) int {
 	}
 	return len(t.points) - 1
 }
+
+// FreqsHz returns the per-level frequency slab, slowest first. The slice
+// is owned by the table and must be treated as read-only; it exists so
+// epoch kernels can turn a level into a frequency with one indexed load.
+// Values are the exact FreqHz fields Point would return.
+func (t *Table) FreqsHz() []float64 { return t.freqsHz }
+
+// VoltagesV returns the per-level voltage slab, slowest first. Same
+// ownership and exactness contract as FreqsHz.
+func (t *Table) VoltagesV() []float64 { return t.voltagesV }
 
 // Points returns a copy of all operating points, slowest first.
 func (t *Table) Points() []OperatingPoint {

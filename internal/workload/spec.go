@@ -77,6 +77,17 @@ func (s Spec) Validate() error {
 // Source is anything that produces a phase stream for one core: a live
 // Markov process or a recorded-trace replayer.
 //
+// Invariant for independent sources: between two Advance calls whose
+// return reports a phase change (> 0), Phase must return the identical
+// value on every call — it is a pure function of the source's discrete
+// phase state. The epoch kernel memoises per-phase derived quantities
+// (IPS, dynamic power, memory-boundedness per VF level) and invalidates
+// only when Advance reports a change, so a source whose Phase drifted
+// silently would feed stale physics to the simulator. WorkSource lanes
+// are exempt: their phase may flip when *another* lane's AdvanceWork
+// releases a barrier or dispatches a job, so the kernel never memoises
+// them (they also force sequential stepping, see below).
+//
 // Invariant for wrappers: manycore detects whether a chip's sources share
 // application state (and so must step sequentially) by asserting each
 // Source to WorkSource at construction time. A wrapper that delegates to
@@ -101,6 +112,11 @@ type Process struct {
 	current    int
 	remainingS float64
 	scale      float64
+	// scaled[i] is spec.Phases[i].Phase.Scale(scale), precomputed once at
+	// construction: the spec and scale are immutable for the process's
+	// lifetime, so Phase() can return the table entry — the identical
+	// bits the per-call Scale produced, minus the per-call multiplies.
+	scaled []Phase
 }
 
 // NewProcess creates a process over spec using random stream r.
@@ -118,6 +134,10 @@ func NewScaledProcess(spec Spec, r *rng.RNG, scale float64) (*Process, error) {
 		return nil, fmt.Errorf("workload: non-positive scale %g", scale)
 	}
 	p := &Process{spec: spec, r: r, current: spec.Start, scale: scale}
+	p.scaled = make([]Phase, len(spec.Phases))
+	for i := range spec.Phases {
+		p.scaled[i] = spec.Phases[i].Phase.Scale(scale)
+	}
 	p.remainingS = p.drawDuration(p.current)
 	return p, nil
 }
@@ -134,6 +154,16 @@ func (p *Process) drawDuration(idx int) float64 {
 // Phase returns the active phase with the process's scale applied.
 func (p *Process) Phase() Phase {
 	return p.spec.Phases[p.current].Phase.Scale(p.scale)
+}
+
+// ScaledPhase is Phase through the precomputed table: identical bits
+// (the table entries are the same Scale(scale) results, computed once at
+// construction) without the per-call multiplies. Hot callers that have
+// already type-asserted to *Process use this; Phase stays the plain
+// recompute so the retained reference kernel keeps its pre-optimization
+// cost profile.
+func (p *Process) ScaledPhase() Phase {
+	return p.scaled[p.current]
 }
 
 // PhaseIndex returns the active phase's index in the spec.
