@@ -27,9 +27,25 @@ MONITOR_OVERHEAD_MAX ?= 5.0
 # Recalibrated with MONITOR_OVERHEAD_MAX (same faster-denominator effect).
 LEARN_OVERHEAD_MAX ?= 5.0
 
-.PHONY: ci vet build test test-determinism race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn bench-step bench-step-smoke fuzz-smoke cover
+.PHONY: ci lint lint-allows vet build test test-determinism race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn bench-step bench-step-smoke fuzz-smoke cover
 
-ci: vet build test test-determinism race-monitor race-learn race-par bench-obs bench-monitor bench-learn bench-step-smoke fuzz-smoke cover
+ci: lint vet build test test-determinism race-monitor race-learn race-par bench-obs bench-monitor bench-learn bench-step-smoke fuzz-smoke cover
+
+# Repo-specific invariant analyzers (detrange, rngdiscipline, wallclock,
+# hotpathalloc, kernelparity): compile-time proof of the determinism, RNG,
+# clock and hot-path contracts, run ahead of go vet so contract breaks
+# surface before generic diagnostics. Exits non-zero on any unsuppressed
+# diagnostic. odrl-vet carries its own go/parser+go/types driver because
+# this container cannot add golang.org/x/tools; if that dependency ever
+# becomes available, the analyzers port to a multichecker and this target
+# becomes `go vet -vettool=$$(which odrl-vet) ./...` unchanged.
+lint:
+	$(GO) run ./cmd/odrl-vet ./...
+
+# Audit ledger: every //odrl:allow suppression in the tree with its
+# mandatory reason, so waivers stay reviewable.
+lint-allows:
+	$(GO) run ./cmd/odrl-vet -allows ./...
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +97,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPlanJSON$$' -fuzztime=$(FUZZTIME) ./internal/fault/
 	$(GO) test -run='^$$' -fuzz='^FuzzRulesJSON$$' -fuzztime=$(FUZZTIME) ./internal/obs/monitor/
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/obs/learn/
+	$(GO) test -run='^$$' -fuzz='^FuzzAllowComment$$' -fuzztime=$(FUZZTIME) ./internal/analysis/
 
 # Coverage gate: repo-wide statement coverage must stay at or above
 # COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.

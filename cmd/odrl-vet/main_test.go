@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunRejectsMalformedInvocations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"unknown analyzer", []string{"-analyzers", "nosuch", "./..."}, "unknown analyzer(s): nosuch"},
+		{"one of several unknown", []string{"-analyzers", "detrange,nosuch,wallclock"}, "unknown analyzer(s): nosuch"},
+		{"negative max", []string{"-max", "-1"}, "-max must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+// miniModule writes a throwaway module named repro (so deterministic-path
+// gating engages) containing one violating package and one suppressed one.
+func miniModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	write("internal/sim/ok.go", `package sim
+
+import "time"
+
+func Probe() time.Time {
+	return time.Now() //odrl:allow wallclock test fixture probe
+}
+`)
+	return dir
+}
+
+func TestRunFlagsViolationsAndExitsOne(t *testing.T) {
+	dir := miniModule(t)
+	code, stdout, stderr := runCLI(t, "-dir", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[detrange]") || !strings.Contains(stdout, "range over map") {
+		t.Fatalf("missing detrange diagnostic:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "[wallclock]") {
+		t.Fatalf("suppressed wallclock diagnostic leaked:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 unsuppressed diagnostic(s)") {
+		t.Fatalf("stderr missing summary:\n%s", stderr)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := miniModule(t)
+	code, stdout, _ := runCLI(t, "-dir", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "detrange" || diags[0].Line == 0 {
+		t.Fatalf("unexpected JSON diagnostics: %+v", diags)
+	}
+}
+
+func TestRunAnalyzerSubset(t *testing.T) {
+	// Only wallclock selected: the detrange violation is out of scope and
+	// the suppressed probe stays suppressed, so the tree is clean.
+	dir := miniModule(t)
+	code, stdout, stderr := runCLI(t, "-dir", dir, "-analyzers", "wallclock", "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestRunAllowsLedger(t *testing.T) {
+	dir := miniModule(t)
+	code, stdout, stderr := runCLI(t, "-dir", dir, "-allows", "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "[wallclock] test fixture probe") || !strings.Contains(stdout, "1 suppression(s)") {
+		t.Fatalf("-allows ledger unexpected:\n%s", stdout)
+	}
+
+	code, stdout, _ = runCLI(t, "-dir", dir, "-allows", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("-allows -json exit code = %d", code)
+	}
+	var allows []analysis.Allow
+	if err := json.Unmarshal([]byte(stdout), &allows); err != nil {
+		t.Fatalf("-allows -json not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(allows) != 1 || allows[0].Analyzer != "wallclock" || allows[0].Reason != "test fixture probe" {
+		t.Fatalf("unexpected JSON allows: %+v", allows)
+	}
+}
+
+func TestRunMaxTruncatesOutputNotExitCode(t *testing.T) {
+	dir := miniModule(t)
+	// Add a second violation so -max 1 has something to truncate.
+	bad2 := filepath.Join(dir, "internal", "core", "bad2.go")
+	if err := os.WriteFile(bad2, []byte(`package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-dir", dir, "-max", "1", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "... and 1 more") {
+		t.Fatalf("-max did not truncate:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "2 unsuppressed diagnostic(s)") {
+		t.Fatalf("summary should count all diagnostics:\n%s", stderr)
+	}
+}

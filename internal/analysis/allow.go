@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //odrl:allow suppression comment.
+type Allow struct {
+	// Analyzer is the analyzer whose findings the comment suppresses.
+	Analyzer string `json:"analyzer"`
+	// Reason is the mandatory free-form justification.
+	Reason string         `json:"reason"`
+	Pos    token.Position `json:"-"`
+
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+const allowMarker = "//odrl:allow"
+
+// ParseAllow parses one source comment as a suppression directive. It
+// returns ok=false when the comment is not an //odrl:allow directive at
+// all. A directive with a missing analyzer name or reason parses with the
+// corresponding field empty — the caller turns that into a diagnostic
+// rather than silently honouring a bare suppression.
+//
+// The comment text is external-ish input (free-form source comments), so
+// the parser must be total: any byte sequence returns cleanly.
+func ParseAllow(text string) (a Allow, ok bool) {
+	// Only line comments can carry directives; /* */ blocks are prose.
+	if !strings.HasPrefix(text, "//") {
+		return Allow{}, false
+	}
+	rest, found := strings.CutPrefix(text, allowMarker)
+	if !found {
+		return Allow{}, false
+	}
+	// "//odrl:allowance" etc. is prose, not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Allow{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Allow{}, true // bare: no analyzer, no reason
+	}
+	a.Analyzer = fields[0]
+	a.Reason = strings.Join(fields[1:], " ")
+	return a, true
+}
+
+// collectAllows scans a package's comments for suppression directives.
+// Malformed directives — missing reason, or naming no known analyzer —
+// come back as diagnostics from the pseudo-analyzer "allow": a suppression
+// nobody can audit is itself a lint violation.
+func collectAllows(pkg *Package, known map[string]bool) ([]Allow, []Diagnostic) {
+	var allows []Allow
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := ParseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case a.Analyzer == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "bare //odrl:allow: name the analyzer and give a reason (//odrl:allow <analyzer> <reason>)",
+					})
+				case !known[a.Analyzer]:
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "//odrl:allow names unknown analyzer " + a.Analyzer,
+					})
+				case a.Reason == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "//odrl:allow " + a.Analyzer + " without a reason: the reason is mandatory so suppressions stay auditable",
+					})
+				default:
+					a.Pos = pos
+					a.File, a.Line = pos.Filename, pos.Line
+					allows = append(allows, a)
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed suppression:
+// an //odrl:allow naming the diagnostic's analyzer on the same line (a
+// trailing comment) or on the line directly above (a comment-above form).
+func filterSuppressed(diags []Diagnostic, allows []Allow) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(allows))
+	for _, a := range allows {
+		covered[key{a.Pos.Filename, a.Pos.Line, a.Analyzer}] = true
+		covered[key{a.Pos.Filename, a.Pos.Line + 1, a.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzAllowComment hammers the suppression-directive parser: comment text
+// is arbitrary source input, so ParseAllow must be total (no panics) and
+// its structural invariants must hold for every byte sequence.
+func FuzzAllowComment(f *testing.F) {
+	f.Add("//odrl:allow wallclock phase-span telemetry probe")
+	f.Add("//odrl:allow detrange")
+	f.Add("//odrl:allow")
+	f.Add("//odrl:allowance is prose")
+	f.Add("//odrl:allow\twallclock\ttabbed reason")
+	f.Add("// odrl:allow wallclock spaced marker is prose")
+	f.Add("/*odrl:allow wallclock block comments are prose*/")
+	f.Add("//odrl:allow  rngdiscipline   double  spaces ")
+	f.Add("")
+	f.Add("//")
+	f.Add("//odrl:allow \x00\xff binary reason")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		a, ok := ParseAllow(text)
+		if !ok {
+			if a != (Allow{}) {
+				t.Fatalf("not-a-directive returned non-zero Allow: %+v", a)
+			}
+			return
+		}
+		// ok=true iff the text is exactly the marker followed by nothing or
+		// a space/tab separator.
+		rest, found := strings.CutPrefix(text, allowMarker)
+		if !found {
+			t.Fatalf("ok=true without marker prefix: %q", text)
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			t.Fatalf("ok=true with prose continuation: %q", text)
+		}
+		// A reason never appears without an analyzer name.
+		if a.Analyzer == "" && a.Reason != "" {
+			t.Fatalf("reason %q without analyzer from %q", a.Reason, text)
+		}
+		// The analyzer name is a single whitespace-free field.
+		if strings.IndexFunc(a.Analyzer, unicode.IsSpace) >= 0 {
+			t.Fatalf("analyzer %q contains whitespace (from %q)", a.Analyzer, text)
+		}
+		// The reason round-trips through Fields: normalised single spaces.
+		if a.Reason != strings.Join(strings.Fields(a.Reason), " ") {
+			t.Fatalf("reason %q not whitespace-normalised (from %q)", a.Reason, text)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+// Package analysis implements odrl-vet, the repo's custom static-analysis
+// suite: invariant checkers that make the reproducibility guarantees this
+// repository trades on — bit-identical tables at any worker count,
+// seed-determined fault runs, a zero-alloc epoch loop, a verbatim reference
+// kernel — machine-checked properties of the source tree instead of
+// runtime-test tribal knowledge.
+//
+// The analyzers are built directly on the standard library (go/parser,
+// go/types, driven by `go list -json -deps`) because the container builds
+// offline and golang.org/x/tools cannot be added to the module. The
+// Analyzer/Pass shape deliberately mirrors x/tools/go/analysis so the suite
+// can be ported to a multichecker (and run via `go vet -vettool`) if the
+// dependency ever becomes available; the analyzers, not the driver, are the
+// point.
+//
+// Findings are suppressed per call site with
+//
+//	//odrl:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a bare suppression is itself a diagnostic, and `odrl-vet
+// -allows` lists every suppression with its reason so stale ones stay
+// auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. The shape mirrors
+// x/tools/go/analysis.Analyzer minus the dependency machinery this driver
+// does not need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //odrl:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by `odrl-vet -h`.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test compilation units, parsed with
+	// comments.
+	Files []*ast.File
+	// Pkg and Info are the type-checked package and its expression types.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// Flattened position for -json output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String formats the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// deterministicPathPkgs are the packages whose outputs feed the
+// byte-identical golden tables and seed-reproducible runs. Map iteration
+// order, ambient RNG and wall-clock reads inside them leak nondeterminism
+// straight into recorded results.
+var deterministicPathPkgs = map[string]bool{
+	"manycore":    true,
+	"core":        true,
+	"ctrl":        true,
+	"baselines":   true,
+	"rl":          true,
+	"sim":         true,
+	"fault":       true,
+	"experiments": true,
+	"workload":    true,
+	"power":       true,
+	"vf":          true,
+	"thermal":     true,
+	"noc":         true,
+	"variation":   true,
+}
+
+// OnDeterministicPath reports whether the import path belongs to the
+// deterministic simulation/control path (repro/internal/<pkg> or a
+// sub-package of one).
+func OnDeterministicPath(pkgPath string) bool {
+	rest, ok := strings.CutPrefix(pkgPath, "repro/internal/")
+	if !ok {
+		return false
+	}
+	root, _, _ := strings.Cut(rest, "/")
+	return deterministicPathPkgs[root]
+}
+
+// hotpathMarker annotates a function whose steady-state body must not
+// allocate; see the hotpathalloc analyzer.
+const hotpathMarker = "//odrl:hotpath"
+
+// HotpathAnnotated reports whether the function declaration carries an
+// //odrl:hotpath marker line in its doc comment.
+func HotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// run applies the analyzers to one loaded package, returning raw (not yet
+// suppression-filtered) diagnostics.
+func run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return diags, nil
+}
+
+// Result is the outcome of vetting a package set.
+type Result struct {
+	// Diagnostics are the unsuppressed findings, ordered by position.
+	Diagnostics []Diagnostic
+	// Allows are all suppression comments encountered, ordered by position,
+	// for the -allows audit listing.
+	Allows []Allow
+}
+
+// Vet runs the analyzers over the loaded packages and applies //odrl:allow
+// suppression. Malformed suppressions (missing reason, unknown analyzer)
+// surface as diagnostics from the pseudo-analyzer "allow".
+func Vet(pkgs []*Package, analyzers []*Analyzer) (Result, error) {
+	// A suppression is "known" if it names any registered analyzer, not
+	// just the ones running: `odrl-vet -analyzers detrange` must not flag
+	// every wallclock suppression in the tree as naming an unknown
+	// analyzer.
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var res Result
+	for _, pkg := range pkgs {
+		diags, err := run(pkg, analyzers)
+		if err != nil {
+			return Result{}, err
+		}
+		allows, allowDiags := collectAllows(pkg, known)
+		res.Allows = append(res.Allows, allows...)
+		res.Diagnostics = append(res.Diagnostics, filterSuppressed(diags, allows)...)
+		res.Diagnostics = append(res.Diagnostics, allowDiags...)
+	}
+	sortDiagnostics(res.Diagnostics)
+	sort.Slice(res.Allows, func(i, j int) bool { return posLess(res.Allows[i].Pos, res.Allows[j].Pos) })
+	for i := range res.Diagnostics {
+		d := &res.Diagnostics[i]
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+	}
+	return res, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		if !samePos(ds[i].Pos, ds[j].Pos) {
+			return posLess(ds[i].Pos, ds[j].Pos)
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func samePos(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}

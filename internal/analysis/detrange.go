@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRange flags map iteration in deterministic-path packages: Go
+// randomises map range order per run, so any map-ordered loop that touches
+// output (tables, traces, RNG draws, budget passes) breaks the
+// byte-identical golden guarantee in a way no fixed-seed test can pin down.
+//
+// The one blessed idiom is collect-then-sort: a range whose body only
+// appends the key/value to a slice, immediately followed by a sort of that
+// slice, is order-insensitive and stays silent. Likewise maps.Keys fed
+// directly to slices.Sorted. Anything else needs a sorted key slice or an
+// //odrl:allow detrange <reason> with a real order-insensitivity argument.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc: "forbid map-ordered iteration on the deterministic path " +
+		"(range over map, or maps.Keys not immediately sorted); map order " +
+		"leaks into golden tables and RNG streams",
+	Run: runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	if !OnDeterministicPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// First pass: positions of maps.Keys calls already wrapped in
+		// slices.Sorted(...) — those are deterministic by construction.
+		sortedKeys := map[*ast.CallExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass, call.Fun, "slices", "Sorted") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if inner, ok := arg.(*ast.CallExpr); ok && isPkgFunc(pass, inner.Fun, "maps", "Keys") {
+					sortedKeys[inner] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkBlockRanges(pass, n.List)
+			case *ast.CaseClause:
+				checkBlockRanges(pass, n.Body)
+			case *ast.CommClause:
+				checkBlockRanges(pass, n.Body)
+			case *ast.CallExpr:
+				if isPkgFunc(pass, n.Fun, "maps", "Keys") && !sortedKeys[n] {
+					pass.Reportf(n.Pos(), "maps.Keys without an immediate sort yields nondeterministic order on the deterministic path; wrap in slices.Sorted or sort the result")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlockRanges flags map ranges in a statement list, with access to the
+// following sibling statement so the collect-then-sort idiom can be
+// recognised.
+func checkBlockRanges(pass *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		var next ast.Stmt
+		if i+1 < len(stmts) {
+			next = stmts[i+1]
+		}
+		if isCollectThenSort(pass, rng, next) {
+			continue
+		}
+		pass.Reportf(rng.Pos(), "range over map %s iterates in nondeterministic order on the deterministic path; collect keys into a slice and sort, or justify with //odrl:allow detrange <reason>", types.ExprString(rng.X))
+	}
+}
+
+// isCollectThenSort reports whether the range body only appends to slices
+// and the next statement sorts one of them — the blessed sorted-keys idiom
+// (see workload.PresetNames).
+func isCollectThenSort(pass *Pass, rng *ast.RangeStmt, next ast.Stmt) bool {
+	if next == nil || len(rng.Body.List) == 0 {
+		return false
+	}
+	appended := map[string]bool{}
+	for _, s := range rng.Body.List {
+		assign, ok := s.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			return false
+		}
+		appended[types.ExprString(assign.Lhs[0])] = true
+	}
+	expr, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok || !isSortCall(pass, call.Fun) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if appended[types.ExprString(arg)] {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall matches sort.* and slices.Sort* functions.
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := pkgNameOf(pass, sel.X)
+	switch pkg {
+	case "sort":
+		return true
+	case "slices":
+		name := sel.Sel.Name
+		return name == "Sort" || name == "SortFunc" || name == "SortStableFunc"
+	}
+	return false
+}
+
+// isPkgFunc reports whether fun is a selector <pkg>.<name> resolving to the
+// named standard-library package.
+func isPkgFunc(pass *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return pkgNameOf(pass, sel.X) == pkgPath
+}
+
+// pkgNameOf returns the import path of the package an identifier resolves
+// to, or "" when the expression is not a package qualifier.
+func pkgNameOf(pass *Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// isBuiltin reports whether fun resolves to the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}

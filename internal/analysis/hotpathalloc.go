@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc turns the repo's 0-allocs/epoch regression test into a
+// localized compile-time diagnostic: functions annotated //odrl:hotpath
+// (the epoch kernel, the OD-RL decide path, the per-epoch monitor/learn
+// observers) may not contain constructs that allocate — or that the
+// compiler may be forced to heap-allocate — on the steady path:
+//
+//   - closure literals and go statements
+//   - make/new and map/slice composite literals, &T{...} pointer literals
+//   - append, except the capacity-reusing self-append x = append(x, ...)
+//   - fmt.* calls (their variadic any arguments box every operand)
+//   - arguments passed to interface-typed parameters whose static type is
+//     not pointer-shaped (boxing copies the value to the heap)
+//
+// Two structural exemptions keep the signal clean. Lazy-initialisation
+// blocks — the then-branch of an if whose condition tests == nil or
+// compares cap()/len() — run once per object, never on the steady epoch
+// path. And arguments to panic(...) are a cold path by definition (the
+// run is already dead), so fmt.Sprintf inside a panic stays silent.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocating constructs (closures, make, non-reused append, " +
+		"map/slice/pointer literals, fmt calls, interface boxing) in " +
+		"//odrl:hotpath functions; the 0-allocs/epoch gate, localized",
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !HotpathAnnotated(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	exempt := map[ast.Node]bool{}   // subtree roots to skip entirely
+	okAppend := map[ast.Node]bool{} // append calls in the self-append form
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if isLazyInitGuard(pass, n.Cond) {
+				exempt[n.Body] = true
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				for _, arg := range n.Args {
+					exempt[arg] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") &&
+					len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(n.Lhs[0]) {
+					okAppend[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	name := fd.Name.Name
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil || exempt[n] {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in //odrl:hotpath %s allocates per construction; hoist it out of the hot path and thread state through fields", name)
+			return // the body is a different function's hot path
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in //odrl:hotpath %s spawns a goroutine per call; use a persistent worker pool", name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "pointer-to-composite literal in //odrl:hotpath %s heap-allocates; reuse a scratch object", name)
+					return
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal in //odrl:hotpath %s allocates; hoist to a reused field", name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal in //odrl:hotpath %s allocates its backing array; reuse a scratch slice", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n, name, okAppend)
+		}
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk(fd.Body)
+}
+
+func checkHotpathCall(pass *Pass, call *ast.CallExpr, name string, okAppend map[ast.Node]bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := pass.Info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in //odrl:hotpath %s allocates; move it to construction or a lazy-init guard (if x == nil / cap check)", id.Name, name)
+			case "append":
+				if !okAppend[call] {
+					pass.Reportf(call.Pos(), "append to a non-reused slice in //odrl:hotpath %s may grow per call; only the self-append form x = append(x, ...) over a retained buffer is allocation-stable", name)
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && pkgNameOf(pass, sel.X) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in //odrl:hotpath %s boxes every operand into its variadic any parameter; format off the hot path", sel.Sel.Name, name)
+		return
+	}
+	// Interface boxing: a non-pointer-shaped value passed to an
+	// interface-typed parameter is copied to the heap.
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions handled by composite/pointer rules
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing non-pointer %s to interface parameter in //odrl:hotpath %s boxes the value onto the heap; pass a pointer or restructure the call", at, name)
+	}
+}
+
+// isPointerShaped reports whether values of t fit in an interface data word
+// without a heap copy.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isLazyInitGuard matches conditions that gate one-time initialisation:
+// any == nil test, or a comparison involving cap()/len().
+func isLazyInitGuard(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch be.Op {
+		case token.EQL:
+			if isNilIdent(be.X) || isNilIdent(be.Y) {
+				found = true
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			for _, side := range [...]ast.Expr{be.X, be.Y} {
+				if call, ok := side.(*ast.CallExpr); ok &&
+					(isBuiltin(pass, call.Fun, "cap") || isBuiltin(pass, call.Fun, "len")) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// childNodes returns a node's direct children, for the skip-aware walk.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// KernelParityConfig parameterises the kernel-parity analyzer so its tests
+// can point it at fixture packages; the package-level KernelParity instance
+// carries the real repo contract.
+type KernelParityConfig struct {
+	// PkgPath is the only package the analyzer inspects.
+	PkgPath string
+	// ReceiverType is the chip state struct whose fields both kernels read.
+	ReceiverType string
+	// FastRoots and RefRoots are the kernel entry points (method keys in
+	// "Type.Method" form; plain functions are just "Name"). Every function
+	// reachable from a root inside the package belongs to that kernel.
+	FastRoots, RefRoots []string
+	// WatchedPkgPath/WatchedType name an auxiliary lookup-table type whose
+	// member usage must also stay paired (power.LUT in the repo).
+	WatchedPkgPath, WatchedType string
+	// FastOnly and RefOnly are the audited baseline divergences: members
+	// (struct fields, or WatchedType members prefixed "lut:") that exactly
+	// one kernel is allowed to read. Everything else read by one kernel but
+	// not the other is a diagnostic.
+	FastOnly, RefOnly map[string]bool
+	// RefFile (base name) is retained verbatim by contract; RefSHA256 is
+	// the pinned hash of its contents.
+	RefFile, RefSHA256 string
+}
+
+// repoKernelParity is the real contract: the struct-of-arrays kernel
+// (Chip.StepInto) and the retained pre-optimization kernel
+// (Chip.ReferenceStepInto) must stay semantically paired, because the
+// oracle test TestReferenceKernelBitEqual is only meaningful while both
+// kernels consume the same chip state.
+var repoKernelParity = KernelParityConfig{
+	PkgPath:        "repro/internal/manycore",
+	ReceiverType:   "Chip",
+	FastRoots:      []string{"Chip.StepInto"},
+	RefRoots:       []string{"Chip.ReferenceStepInto"},
+	WatchedPkgPath: "repro/internal/power",
+	WatchedType:    "LUT",
+	// The fast kernel's private machinery: precomputed LUT slabs, the phase
+	// memo, persistent shard workers. Each entry is a pure-optimization
+	// cache over state the reference kernel reads through its original
+	// interface (cfg.VF.Point, cfg.Power.LeakageW, cfg.Variation,
+	// cfg.CoreTypes), so no semantic state hides here; the oracle test pins
+	// the equivalence bit for bit.
+	FastOnly: map[string]bool{
+		"nLevels":        true, // LUT slab geometry (mirrors cfg.VF.Levels)
+		"freqsHz":        true, // aliases cfg.VF's frequency slab
+		"voltsV":         true, // aliases cfg.VF's voltage slab
+		"lut":            true, // power.LUT: bit-equal LeakageW replay
+		"fixedLeak":      true, // per-level leakage at pinned ambient temp
+		"freqMultC":      true, // folded cfg.Variation.FreqMult
+		"dynMultC":       true, // folded variation × core-type CeffMult
+		"leakMultC":      true, // folded variation × core-type LeakMult
+		"ipcMult":        true, // folded core-type IPCMult
+		"hetero":         true, // gates the IPCMult division
+		"uniform":        true, // all-multipliers-1.0 fast path
+		"workSrcs":       true, // cached WorkSource assertions
+		"procSrcs":       true, // cached *workload.Process assertions
+		"phaseVer":       true, // phase-memo version counters
+		"memoVer":        true,
+		"memoIPS":        true,
+		"memoDyn":        true,
+		"memoMemB":       true,
+		"phCache":        true,
+		"phVer":          true,
+		"pool":           true, // persistent shard workers
+		"stepFn":         true,
+		"stepDt":         true,
+		"stepTel":        true,
+		"lut:LeakageWAt": true, // documented bit-equal to Params.LeakageW
+	},
+	RefOnly:   map[string]bool{},
+	RefFile:   "reference.go",
+	RefSHA256: referenceGoSHA256,
+}
+
+// referenceGoSHA256 pins internal/manycore/reference.go verbatim. The file
+// is the throughput baseline and the bit-identity oracle for the SoA
+// kernel; editing it silently would let both gates drift. A legitimate
+// change (there should essentially never be one) must update this constant
+// in the same commit and re-justify TestReferenceKernelBitEqual.
+const referenceGoSHA256 = "afda4b1b90d5505cb601fa9e1a4c3a945d8f12b49f81efb29fa49451207bd7cf"
+
+// KernelParity is the repo-contract instance of the kernel-parity
+// analyzer.
+var KernelParity = NewKernelParity(repoKernelParity)
+
+// NewKernelParity builds a kernel-parity analyzer for the given contract.
+func NewKernelParity(cfg KernelParityConfig) *Analyzer {
+	return &Analyzer{
+		Name: "kernelparity",
+		Doc: "keep the SoA and reference step kernels semantically paired: " +
+			"chip state read by one kernel but not the other (outside the " +
+			"audited baseline) is flagged, and reference.go is pinned " +
+			"verbatim by hash — it is the oracle the bit-identity tests " +
+			"compare against",
+		Run: func(pass *Pass) error { return runKernelParity(pass, cfg) },
+	}
+}
+
+func runKernelParity(pass *Pass, cfg KernelParityConfig) error {
+	if pass.Pkg.Path() != cfg.PkgPath {
+		return nil
+	}
+	checkRefFileHash(pass, cfg)
+
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if key := declKey(pass, fd); key != "" {
+					decls[key] = fd
+				}
+			}
+		}
+	}
+	fastUse := kernelUses(pass, cfg, decls, cfg.FastRoots)
+	refUse := kernelUses(pass, cfg, decls, cfg.RefRoots)
+
+	reportOneSided(pass, cfg, fastUse, refUse, cfg.FastOnly, "StepInto (fast kernel)", "ReferenceStepInto")
+	reportOneSided(pass, cfg, refUse, fastUse, cfg.RefOnly, "ReferenceStepInto (reference kernel)", "StepInto")
+	return nil
+}
+
+func reportOneSided(pass *Pass, cfg KernelParityConfig, have, other map[string]ast.Node, baseline map[string]bool, kernel, otherKernel string) {
+	names := make([]string, 0, len(have))
+	for name := range have {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, both := other[name]; both || baseline[name] {
+			continue
+		}
+		what := fmt.Sprintf("%s field %s", cfg.ReceiverType, name)
+		if m, ok := strings.CutPrefix(name, "lut:"); ok {
+			what = fmt.Sprintf("%s.%s member %s", filepath.Base(cfg.WatchedPkgPath), cfg.WatchedType, m)
+		}
+		pass.Reportf(have[name].Pos(),
+			"%s is read by %s but not by %s: the kernels must stay semantically paired or the bit-identity oracle test proves nothing — consume it in both kernels, or audit it into the kernelparity baseline with a rationale",
+			what, kernel, otherKernel)
+	}
+}
+
+// checkRefFileHash verifies the retained reference kernel file is
+// byte-identical to the pinned hash.
+func checkRefFileHash(pass *Pass, cfg KernelParityConfig) {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if filepath.Base(name) != cfg.RefFile {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			pass.Reportf(f.Pos(), "cannot hash %s: %v", cfg.RefFile, err)
+			return
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != cfg.RefSHA256 {
+			pass.Reportf(f.Pos(),
+				"%s has been edited (sha256 %s, pinned %s): the file is retained verbatim by contract — it is the oracle TestReferenceKernelBitEqual compares the SoA kernel against and the baseline the BENCH_step throughput gate measures; revert, or (exceptionally) update the pinned hash in internal/analysis/kernelparity.go in the same commit with the oracle-test rationale re-justified",
+				cfg.RefFile, got[:12], cfg.RefSHA256[:12])
+		}
+		return
+	}
+	pass.Reportf(pass.Files[0].Pos(), "%s is missing from %s: the retained reference kernel must not be deleted — it is the bit-identity oracle and throughput baseline", cfg.RefFile, cfg.PkgPath)
+}
+
+// declKey names a function declaration: "Type.Method" or "Func".
+func declKey(pass *Pass, fd *ast.FuncDecl) string {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return funcKey(obj)
+}
+
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// kernelUses walks the call graph from the roots (within the package) and
+// collects every ReceiverType field and WatchedType member the kernel
+// reads, mapped to a representative use site.
+func kernelUses(pass *Pass, cfg KernelParityConfig, decls map[string]*ast.FuncDecl, roots []string) map[string]ast.Node {
+	uses := map[string]ast.Node{}
+	seen := map[string]bool{}
+	var visit func(key string)
+	visit = func(key string) {
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		fd, ok := decls[key]
+		if !ok || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				selInfo, ok := pass.Info.Selections[n]
+				if !ok {
+					return true
+				}
+				recv := namedOf(selInfo.Recv())
+				if recv == nil {
+					return true
+				}
+				if recv.Obj().Name() == cfg.ReceiverType && recv.Obj().Pkg() == pass.Pkg && selInfo.Kind() == types.FieldVal {
+					if _, dup := uses[n.Sel.Name]; !dup {
+						uses[n.Sel.Name] = n
+					}
+				}
+				if recv.Obj().Name() == cfg.WatchedType && recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == cfg.WatchedPkgPath {
+					key := "lut:" + n.Sel.Name
+					if _, dup := uses[key]; !dup {
+						uses[key] = n
+					}
+				}
+			case *ast.Ident:
+				// Intra-package calls (methods and plain functions) extend
+				// the kernel's reach.
+				if fn, ok := pass.Info.Uses[n].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+					visit(funcKey(fn))
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return uses
+}
+
+// namedOf unwraps pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages from source. It shells out to
+// `go list -json -deps` for build metadata (file sets per build
+// constraints, import graphs) and type-checks everything — including
+// standard-library dependencies — from source, because the offline
+// container has no export data and no golang.org/x/tools. The whole module
+// plus its stdlib closure checks in a few seconds, which is fine for a lint
+// gate.
+//
+// Every package is type-checked exactly once, through Import, so each
+// import path has a single *types.Package identity no matter whether it is
+// reached as a target or as a dependency. Expression type information for
+// target packages accumulates in one shared types.Info (the maps are keyed
+// by AST node, so sharing is collision-free).
+type Loader struct {
+	// Dir roots `go list` invocations (the module directory).
+	Dir string
+
+	fset    *token.FileSet
+	meta    map[string]*listPkg
+	pkgs    map[string]*types.Package
+	files   map[string][]*ast.File
+	loading map[string]bool
+	sizes   types.Sizes
+	info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	Match      []string
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		meta:    map[string]*listPkg{},
+		pkgs:    map[string]*types.Package{},
+		files:   map[string][]*ast.File{},
+		loading: map[string]bool{},
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+}
+
+// goList runs `go list -e -json -deps` on the patterns, merges the results
+// into the metadata cache, and returns this invocation's entries — Load
+// must derive its target set from the current call, not from metadata
+// accumulated by earlier calls on a shared loader.
+func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	// CGO off so packages like net resolve to their pure-Go file sets,
+	// which type-check from source without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listPkg
+	var decErr error
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err != nil {
+			if err != io.EOF {
+				decErr = err
+			}
+			break
+		}
+		cp := p
+		listed = append(listed, &cp)
+		if prev, ok := l.meta[p.ImportPath]; !ok || prev.DepOnly && !p.DepOnly {
+			l.meta[p.ImportPath] = &cp
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, decErr
+}
+
+// isTarget reports whether a listed package is one the caller asked to
+// analyze (in-module, not a pure dependency).
+func (m *listPkg) isTarget() bool {
+	return !m.DepOnly && !m.Standard
+}
+
+// Import implements types.Importer by type-checking the named package (and
+// its dependencies) from source, with caching. Target packages are parsed
+// with comments and recorded with full type information; dependencies are
+// checked lean.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		// GOROOT-vendored dependencies (golang.org/x/... inside the
+		// standard library) are listed under a vendor/ prefix but imported
+		// without it.
+		m, ok = l.meta["vendor/"+path]
+	}
+	if !ok {
+		// Lazily resolved import (fixture loads reach here); fetch its
+		// metadata closure on demand.
+		if _, err := l.goList(path); err != nil {
+			return nil, err
+		}
+		if m, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("package %s not found by go list", path)
+		}
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("package %s: %s", path, m.Error.Err)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	mode := parser.Mode(0)
+	var info *types.Info
+	if m.isTarget() {
+		mode = parser.ParseComments
+		info = l.info
+	}
+	files, err := l.parse(m, mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{
+		Importer:    l,
+		Sizes:       l.sizes,
+		FakeImportC: true,
+	}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	if m.isTarget() {
+		l.files[path] = files
+	}
+	return pkg, nil
+}
+
+// parse reads a package's compilation units. mode is OR'd into the parser
+// flags (targets carry parser.ParseComments; dependencies skip comments).
+func (l *Loader) parse(m *listPkg, mode parser.Mode) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, mode|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load resolves the patterns to target packages and type-checks each with
+// full syntax (comments included) and expression type information.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	for _, m := range listed {
+		if m.isTarget() {
+			targets = append(targets, m)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	pkgs := make([]*Package, 0, len(targets))
+	for _, m := range targets {
+		if m.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := l.Import(m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  m.ImportPath,
+			Fset:  l.fset,
+			Files: l.files[m.ImportPath],
+			Types: pkg,
+			Info:  l.info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFixture type-checks the .go files in dir as a package with the given
+// import path — the analyzer-test seam. The assumed path is what
+// deterministic-path gating keys on, so fixtures can impersonate
+// repro/internal packages while living under testdata (which go list
+// ignores). Imports resolve through the loader, so fixtures may import the
+// standard library and real repro/internal packages.
+func (l *Loader) LoadFixture(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	cfg := types.Config{
+		Importer:    l,
+		Sizes:       l.sizes,
+		FakeImportC: true,
+	}
+	pkg, err := cfg.Check(asPath, l.fset, files, l.info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", asPath, err)
+	}
+	return &Package{Path: asPath, Fset: l.fset, Files: files, Types: pkg, Info: l.info}, nil
+}

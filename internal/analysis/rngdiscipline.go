@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// RNGDiscipline enforces the single-seed reproducibility contract on the
+// deterministic path: all randomness flows from injected repro/internal/rng
+// streams (split per consumer via RNG.Split or par.SplitRNGs), never from
+// math/rand. The ambient math/rand generators are process-global and
+// goroutine-interleaved, so one stray draw forks every fault realisation
+// and RL trajectory from its seed; storing a *math/rand.Rand in a struct
+// field smuggles the same hazard in by reference.
+var RNGDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc: "forbid math/rand on the deterministic path: no imports, no " +
+		"top-level draws, no rand.New, no *rand.Rand struct fields; all " +
+		"randomness comes from injected repro/internal/rng streams",
+	Run: runRNGDiscipline,
+}
+
+// mathRandPaths are the forbidden generator packages.
+var mathRandPaths = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runRNGDiscipline(pass *Pass) error {
+	if !OnDeterministicPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !mathRandPaths[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s on the deterministic path; draw from an injected repro/internal/rng stream (rng.New(seed).Split / par.SplitRNGs) instead", path)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkg := pkgNameOf(pass, sel.X); mathRandPaths[pkg] {
+					if sel.Sel.Name == "New" {
+						pass.Reportf(n.Pos(), "rand.New outside internal/rng: even a locally-seeded math/rand generator bypasses the split-stream discipline; thread a repro/internal/rng stream instead")
+					} else {
+						pass.Reportf(n.Pos(), "math/rand draw %s.%s uses process-global, nondeterministically shared state; draw from an injected repro/internal/rng stream", pkg, sel.Sel.Name)
+					}
+				}
+			case *ast.StructType:
+				if n.Fields == nil {
+					return true
+				}
+				for _, field := range n.Fields.List {
+					if t := pass.Info.TypeOf(field.Type); t != nil && referencesMathRand(t) {
+						pass.Reportf(field.Pos(), "struct field stores a math/rand generator; RNG-bearing fields must hold repro/internal/rng streams threaded from the run seed (rng.Split / par.SplitRNGs)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// referencesMathRand reports whether a type is (or dereferences/contains as
+// an element to) a math/rand type.
+func referencesMathRand(t types.Type) bool {
+	for range 10 { // bounded unwrap of pointers/slices/arrays
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Named:
+			obj := u.Obj()
+			return obj.Pkg() != nil && mathRandPaths[obj.Pkg().Path()]
+		default:
+			return false
+		}
+	}
+	return false
+}

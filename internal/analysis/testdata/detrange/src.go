@@ -1,0 +1,78 @@
+// Package fixture exercises the detrange analyzer. Loaded by the tests
+// under an impersonated deterministic-path import path; want comments mark
+// the diagnostics the analyzer must produce on that line.
+package fixture
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+type counts map[string]int
+
+func mapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m iterates in nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+func namedMapRange(m counts) int {
+	total := 0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+	return total
+}
+
+// collectThenSort is the blessed idiom: the body only appends, the next
+// statement sorts the collected slice. Must stay silent.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// collectNoSort appends but never sorts: order still leaks.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys wraps maps.Keys in slices.Sorted: deterministic by
+// construction, stays silent.
+func sortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+func bareKeys(m map[string]int) {
+	for k := range maps.Keys(m) { // want "maps.Keys without an immediate sort"
+		_ = k
+	}
+}
+
+// sliceRange is not a map: silent.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises the hotpathalloc analyzer: allocating
+// constructs inside //odrl:hotpath functions, and the exemptions
+// (lazy-init guards, self-append, panic arguments, unannotated functions).
+package fixture
+
+import "fmt"
+
+type T struct {
+	buf     []int
+	m       map[string]int
+	scratch []byte
+}
+
+func sink(v any) {}
+
+func (t *T) cold() {}
+
+//odrl:hotpath
+func (t *T) hot(n int) {
+	f := func() int { return n } // want "closure literal"
+	_ = f
+	go t.cold()         // want "go statement"
+	s := make([]int, n) // want "make in"
+	_ = s
+	t.buf = append(t.buf, n) // ok: self-append over a retained buffer
+	lit := []int{1, 2}       // want "slice literal"
+	lit = append(t.buf, n)   // want "append to a non-reused slice"
+	_ = lit
+	_ = map[string]int{"a": 1} // want "map literal"
+	p := &T{}                  // want "pointer-to-composite literal"
+	_ = p
+	fmt.Println(n) // want "fmt.Println"
+	sink(n)        // want "boxes the value"
+	sink(&n)       // ok: pointers fit the interface word
+}
+
+//odrl:hotpath
+func (t *T) lazy(n int) {
+	if t.m == nil {
+		t.m = make(map[string]int) // ok: one-time lazy init
+	}
+	if cap(t.scratch) < n {
+		t.scratch = make([]byte, n) // ok: capacity-guarded growth
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // ok: panic path is cold
+	}
+}
+
+// notAnnotated allocates freely: no marker, no diagnostics.
+func notAnnotated() func() int {
+	return func() int { return 1 }
+}

@@ -1,0 +1,28 @@
+// Package fixture is a miniature two-kernel package for the kernelparity
+// analyzer tests: Fast and Ref play StepInto/ReferenceStepInto, LUT plays
+// power.LUT. Expected diagnostics are asserted programmatically (the
+// analyzer is driven with a test-local config, not the repo contract).
+package fixture
+
+type LUT struct{}
+
+func (LUT) Shared() int   { return 1 }
+func (LUT) FastOnly() int { return 2 }
+
+type Chip struct {
+	both     int
+	fastOnly int
+	audited  int
+	refOnly  int
+	lut      LUT
+}
+
+func (c *Chip) Fast() int {
+	return c.both + c.fastOnly + c.helper() + c.lut.Shared() + c.lut.FastOnly()
+}
+
+func (c *Chip) helper() int { return c.audited }
+
+func (c *Chip) Ref() int {
+	return c.both + c.refOnly + c.lut.Shared()
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the rngdiscipline analyzer.
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand on the deterministic path"
+)
+
+type holder struct {
+	gen *rand.Rand // want "struct field stores a math/rand generator"
+}
+
+type cleanHolder struct {
+	seed uint64
+	name string
+}
+
+func draw() int {
+	return rand.Int() // want "math/rand draw math/rand.Int"
+}
+
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "rand.New outside internal/rng" "math/rand draw math/rand.NewSource"
+}
+
+func clean(h cleanHolder) uint64 {
+	return h.seed * 6364136223846793005
+}

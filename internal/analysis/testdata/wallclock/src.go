@@ -1,0 +1,45 @@
+// Package fixture exercises the wallclock analyzer and the //odrl:allow
+// suppression machinery (trailing, line-above, bare, unknown-analyzer and
+// reasonless forms). Malformed-suppression diagnostics from the "allow"
+// pseudo-analyzer are asserted by sentinel substring in the test, not by
+// want comments, because they anchor to the directive comment itself.
+package fixture
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+// simulated clocks are fine: only Now/Since are ambient.
+func ok(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //odrl:allow wallclock fixture probe; suppressed by trailing comment
+}
+
+func suppressedAbove() time.Time {
+	//odrl:allow wallclock fixture probe; suppressed by the line above
+	return time.Now()
+}
+
+func bareSuppression() time.Time {
+	//odrl:allow
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func missingReason() time.Time {
+	//odrl:allow wallclock
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func unknownAnalyzer() time.Time {
+	//odrl:allow nosuchanalyzer reason text
+	return time.Now() // want "wall-clock read time.Now"
+}

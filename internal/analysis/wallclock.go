@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClock flags time.Now and time.Since in deterministic-path packages.
+// Simulated time is the only clock the kernel and controllers may read:
+// wall-clock reads there are a determinism hazard (results vary with host
+// load) and a benchmark-honesty hazard (timing the wrong window moves
+// recorded numbers). The legitimate exceptions — phase-span telemetry
+// probes, report wall-clock columns, bench harness timing — are annotated
+// at the call site with //odrl:allow wallclock <reason>, which keeps the
+// full list auditable via `odrl-vet -allows`.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since in deterministic-path packages; " +
+		"simulated time is the only clock the kernel may read, telemetry " +
+		"probes must carry //odrl:allow wallclock",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !OnDeterministicPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Now", "Since"} {
+				if isPkgFunc(pass, call.Fun, "time", name) {
+					pass.Reportf(call.Pos(), "wall-clock read time.%s on the deterministic path; use simulated time, or annotate a telemetry probe with //odrl:allow wallclock <reason>", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -55,6 +55,8 @@ func (c *Controller) SetLearnSink(s obs.LearnSink) {
 // Called at the end of Decide, after the local phase has updated every live
 // agent; the buffer is reused each emit (the LearnSink contract forbids
 // retaining it).
+//
+//odrl:hotpath
 func (c *Controller) emitLearn(epochs int) {
 	states := c.codec.States()
 	for i, a := range c.agents {

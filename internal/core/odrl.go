@@ -498,6 +498,8 @@ func (c *Controller) numCores() int {
 }
 
 // Decide implements ctrl.Controller.
+//
+//odrl:hotpath
 func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int) {
 	n := c.numCores()
 	if len(tel.Cores) != n || len(out) != n {
@@ -533,7 +535,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 	// shards across workers with bit-identical results (claim C4: this
 	// layer is embarrassingly parallel; only reallocation is global). The
 	// phase span records the wall-clock of the whole sharded section.
-	localStart := time.Now()
+	localStart := time.Now() //odrl:allow wallclock phase-span telemetry probe; never feeds control decisions
 	// Warm the shared ε memo with the lockstep step count before any
 	// worker reads it: live agents sit at epoch−1 steps (Begin consumes
 	// the first epoch without learning). Agents behind a watchdog hold
@@ -591,7 +593,7 @@ func (c *Controller) Decide(tel *manycore.Telemetry, budgetW float64, out []int)
 	}
 
 	if !c.cfg.DisableRealloc && c.epoch%c.cfg.FineEpochsPerRealloc == 0 {
-		globalStart := time.Now()
+		globalStart := time.Now() //odrl:allow wallclock phase-span telemetry probe; never feeds control decisions
 		c.reallocate(tel, budgetW)
 		c.phases.ObserveSince(spanGlobal, globalStart)
 	}
@@ -635,6 +637,8 @@ func (c *Controller) localWorkers(n int) int {
 // level. x is the FA-mode continuous-state scratch buffer (one per calling
 // goroutine; unused in tabular mode). It touches only core-i state, which
 // is what licenses sharding the caller's loop.
+//
+//odrl:hotpath
 func (c *Controller) decideCore(i int, tel *manycore.Telemetry, x []float64) int {
 	ct := &tel.Cores[i]
 	if c.dead[i] {
@@ -668,6 +672,8 @@ func (c *Controller) decideCore(i int, tel *manycore.Telemetry, x []float64) int
 // sensor noise, so exact repeats only happen when the sensor path serves
 // stale data (stuck sensor or blackout). Only core-i slots are touched,
 // keeping the sharded local phase race-free.
+//
+//odrl:hotpath
 func (c *Controller) watchdogStale(i int, ct *manycore.CoreTelemetry) bool {
 	if c.started && ct.IPS == c.wdLastIPS[i] && ct.PowerW == c.wdLastPowerW[i] {
 		c.wdStale[i]++
@@ -680,6 +686,8 @@ func (c *Controller) watchdogStale(i int, ct *manycore.CoreTelemetry) bool {
 
 // contStateOf builds the continuous state vector for FA mode into x (len
 // 3); LinearAgent copies what it needs.
+//
+//odrl:hotpath
 func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64, x []float64) []float64 {
 	headroom := 0.0
 	if budget > 0 {
@@ -693,6 +701,8 @@ func (c *Controller) contStateOf(ct *manycore.CoreTelemetry, budget float64, x [
 }
 
 // stateOf discretises one core's observation.
+//
+//odrl:hotpath
 func (c *Controller) stateOf(ct *manycore.CoreTelemetry, budget float64) int {
 	headroom := 0.0
 	if budget > 0 {
@@ -706,6 +716,8 @@ func (c *Controller) stateOf(ct *manycore.CoreTelemetry, budget float64) int {
 }
 
 // rewardOf scores the epoch that just finished for one core.
+//
+//odrl:hotpath
 func (c *Controller) rewardOf(ct *manycore.CoreTelemetry, budget float64) float64 {
 	perf := finiteOr(ct.IPS/c.maxIPS, 0)
 	overshoot := 0.0
@@ -722,6 +734,8 @@ func (c *Controller) rewardOf(ct *manycore.CoreTelemetry, budget float64) float6
 // reallocate is the coarse-grain O(n) budget redistribution pass. Dead
 // cores are outside the budget domain: they are skipped in every pass and
 // the share floor and totals are computed over the surviving population.
+//
+//odrl:hotpath
 func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 	n := len(c.budgets)
 	alive := float64(c.alive)
@@ -836,7 +850,7 @@ func (c *Controller) reallocate(tel *manycore.Telemetry, budgetW float64) {
 // local; only the reallocation pass (every K epochs) gathers telemetry and
 // scatters budgets, so its cost is amortised by K.
 func (c *Controller) CommPerEpoch(m *noc.Mesh) noc.Cost {
-	commStart := time.Now()
+	commStart := time.Now() //odrl:allow wallclock phase-span telemetry probe; never feeds control decisions
 	defer func() { c.phases.ObserveSince(spanComm, commStart) }()
 	if c.cfg.DisableRealloc {
 		return noc.Cost{}

@@ -546,6 +546,8 @@ func (c *Chip) CoreDead(core int) bool { return c.dead != nil && c.dead[core] }
 // charged a transition stall for the coming epoch. Per-core DVFS (1×1
 // islands, the common case) latches requests directly: the max over a
 // single core is the request itself, since levels are non-negative.
+//
+//odrl:hotpath
 func (c *Chip) resolveIslands() {
 	if c.islandsTrivial {
 		for i, r := range c.requested {
@@ -602,6 +604,8 @@ func (c *Chip) MaxTempK() float64 {
 }
 
 // observed applies multiplicative sensor noise to a true value.
+//
+//odrl:hotpath
 func (c *Chip) observed(v float64) float64 {
 	if c.cfg.SensorNoise == 0 {
 		return v
@@ -616,6 +620,8 @@ func (c *Chip) observed(v float64) float64 {
 // stepWorkers returns the goroutine count for this chip's per-core epoch
 // loop: 1 (sequential) unless the chip is large enough to amortise
 // dispatch and every source is independent.
+//
+//odrl:hotpath
 func (c *Chip) stepWorkers() int {
 	if !c.indepSources || c.NumCores() < parallelMinCores || c.cfg.Workers == 1 {
 		return 1
@@ -628,6 +634,8 @@ func (c *Chip) stepWorkers() int {
 // source reported a phase change. Phase is a pure function of the
 // source's discrete state between changes (the Source invariant), so the
 // cached value is the identical bits a fresh call would produce.
+//
+//odrl:hotpath
 func (c *Chip) scaledPhase(i int) workload.Phase {
 	if c.phVer[i] != c.phaseVer[i] {
 		var ph workload.Phase
@@ -651,6 +659,8 @@ func (c *Chip) scaledPhase(i int) workload.Phase {
 // identical is what makes a later memo hit bit-equal to recomputing —
 // reassociating any of these products would silently fork every RL
 // trajectory from the goldens.
+//
+//odrl:hotpath
 func (c *Chip) phasePhysics(ph workload.Phase, i, lvl int) (ips, pDyn, memB float64) {
 	if c.uniform {
 		freq := c.freqsHz[lvl]
@@ -681,6 +691,8 @@ func (c *Chip) phasePhysics(ph workload.Phase, i, lvl int) (ips, pDyn, memB floa
 // post-passes use, so fusing changes no rounding. The sharded path must
 // not fuse (per-chunk partial sums would reassociate the adds) and
 // passes fuse=false, ignoring the return value.
+//
+//odrl:hotpath
 func (c *Chip) stepRange(lo, hi int, dt float64, tel *Telemetry, fuse bool) float64 {
 	var (
 		levels    = c.levels
@@ -900,6 +912,8 @@ func (c *Chip) Step(dt float64) Telemetry {
 // transcendentals, and parallel dispatch goes to the chip's persistent
 // shard workers. Results are bit-identical to ReferenceStepInto for every
 // worker count — the regression tests compare the two field by field.
+//
+//odrl:hotpath
 func (c *Chip) StepInto(dt float64, tel *Telemetry) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("manycore: non-positive epoch %g", dt))

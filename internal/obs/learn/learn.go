@@ -210,6 +210,8 @@ type Run struct {
 func (r *Run) LearnEmitEvery() int { return r.emitEvery }
 
 // ObserveLearnEpoch implements obs.LearnSink.
+//
+//odrl:hotpath
 func (r *Run) ObserveLearnEpoch(samples []obs.LearnCoreSample) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -355,6 +357,8 @@ func (r *Run) convergedFracLocked() float64 {
 // (the monitor's frame store and alert rules read them from there). A no-op
 // before the first learning epoch, keeping the fields at their omitempty
 // zeros.
+//
+//odrl:hotpath
 func (r *Run) FillEvent(ev *obs.EpochEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -372,6 +376,8 @@ func (r *Run) FillEvent(ev *obs.EpochEvent) {
 // and aliases internal storage: the caller must consume the event before
 // the next simulation epoch, which the synchronous observer chain
 // guarantees.
+//
+//odrl:hotpath
 func (r *Run) FillLearnEvent(le *obs.LearnEvent, detail bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -323,6 +323,8 @@ func (r *monitorRun) WantsEpochDetail(epoch int) bool { return r.nextWants }
 
 // ObserveEpoch implements obs.RunObserver. Allocation-free on the steady
 // path: series, sketches and the metric frame are all preallocated.
+//
+//odrl:hotpath
 func (r *monitorRun) ObserveEpoch(ev *obs.EpochEvent) {
 	r.epochs++
 

@@ -59,6 +59,8 @@ func newEventScratch(cfg manycore.Config) *eventScratch {
 // fill populates the event's island-power and VF-level histogram from this
 // epoch's telemetry, reusing the scratch buffers (the observer contract
 // forbids retaining them).
+//
+//odrl:hotpath
 func (s *eventScratch) fill(ev *obs.EpochEvent, tel *manycore.Telemetry) {
 	for i := range s.islands {
 		s.islands[i] = 0
@@ -83,6 +85,8 @@ func (s *eventScratch) fill(ev *obs.EpochEvent, tel *manycore.Telemetry) {
 // fillLight populates only the scalar aggregate (chip IPS), for sampled
 // epochs whose observer declined detail via obs.EpochDetailSampler — the
 // run-health monitor's every-epoch path.
+//
+//odrl:hotpath
 func (s *eventScratch) fillLight(ev *obs.EpochEvent, tel *manycore.Telemetry) {
 	ips := 0.0
 	for i := range tel.Cores {

@@ -361,11 +361,11 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 			}
 		}
 
-		start := time.Now()
+		start := time.Now() //odrl:allow wallclock decide-latency telemetry; recorded beside results, never feeds them
 		c.Decide(&tel, budget, out)
 		var decide time.Duration
 		if measuring {
-			decide = time.Since(start)
+			decide = time.Since(start) //odrl:allow wallclock decide-latency telemetry; recorded beside results, never feeds them
 			ctrlTime += decide
 		}
 		if runLearn != nil {
