@@ -27,9 +27,9 @@ MONITOR_OVERHEAD_MAX ?= 5.0
 # Recalibrated with MONITOR_OVERHEAD_MAX (same faster-denominator effect).
 LEARN_OVERHEAD_MAX ?= 5.0
 
-.PHONY: ci lint lint-allows vet build test test-determinism race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn bench-step bench-step-smoke fuzz-smoke cover
+.PHONY: ci lint lint-allows vet build test test-determinism test-scenarios race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn bench-step bench-step-smoke fuzz-smoke cover
 
-ci: lint vet build test test-determinism race-monitor race-learn race-par bench-obs bench-monitor bench-learn bench-step-smoke fuzz-smoke cover
+ci: lint vet build test test-determinism test-scenarios race-monitor race-learn race-par bench-obs bench-monitor bench-learn bench-step-smoke fuzz-smoke cover
 
 # Repo-specific invariant analyzers (detrange, rngdiscipline, wallclock,
 # hotpathalloc, kernelparity): compile-time proof of the determinism, RNG,
@@ -62,6 +62,14 @@ test:
 test-determinism:
 	$(GO) test -run 'TestParallelDeterminism|TestStepParallelDeterminism|TestDecideParallelDeterminism' \
 		./internal/experiments/ ./internal/manycore/ ./internal/core/
+
+# Scenario contract gate: the spec-parity harness (engine tables from
+# checked-in JSON specs byte-identical to the experiments goldens at -j1
+# and -j4), the cache properties (hit-is-byte-identical, one-field
+# mutations change the hash, failures never memoised) and the odrl-run
+# CLI surface.
+test-scenarios:
+	$(GO) test -count=1 ./internal/scenario/ ./cmd/odrl-run/
 
 # Race hammer on the monitor's time-series store: concurrent HTTP-style
 # readers snapshotting while the epoch loop appends and decimates.
@@ -98,6 +106,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRulesJSON$$' -fuzztime=$(FUZZTIME) ./internal/obs/monitor/
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/obs/learn/
 	$(GO) test -run='^$$' -fuzz='^FuzzAllowComment$$' -fuzztime=$(FUZZTIME) ./internal/analysis/
+	$(GO) test -run='^$$' -fuzz='^FuzzSpecJSON$$' -fuzztime=$(FUZZTIME) ./internal/scenario/
 
 # Coverage gate: repo-wide statement coverage must stay at or above
 # COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.

@@ -26,12 +26,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
 		experiment  = flag.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
+		cacheDir    = flag.String("cache", "", "content-addressed result cache directory shared with odrl-run ('' = no cache); only table runs are cached, never bench or report modes")
 		quick       = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
 		cores       = flag.Int("cores", 0, "override platform core count")
 		budget      = flag.Float64("budget", 0, "override chip budget (W)")
@@ -275,12 +277,52 @@ func main() {
 		return
 	}
 
-	run := func(id string, runner experiments.Runner) {
+	// Table runs go through the scenario engine: each experiment's
+	// checked-in spec, with the CLI flags folded in as spec overrides, so
+	// odrl-bench and odrl-run share one execution path and one cache.
+	engine := &scenario.Engine{}
+	if *cacheDir != "" {
+		cache, err := scenario.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+			os.Exit(1)
+		}
+		engine.Cache = cache
+	}
+	specFor := func(id string) (scenario.Spec, error) {
+		spec, err := scenario.Builtin(id)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		spec.Quick = *quick
+		spec.Workers = *workers
+		spec.FaultPlan = plan
+		if *cores > 0 {
+			spec.Cores = *cores
+		}
+		if *budget > 0 {
+			spec.BudgetW = *budget
+		}
+		if *seed > 0 {
+			spec.Seeds = []uint64{*seed}
+		}
+		return spec, nil
+	}
+
+	run := func(id string) {
 		start := time.Now()
-		tbl, err := runner(cfg)
+		spec, err := specFor(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+		tbl, info, err := engine.Run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if info.CacheHit {
+			fmt.Fprintf(os.Stderr, "odrl-bench: %s: cache hit %s\n", id, info.Hash)
 		}
 		if _, err := tbl.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
@@ -305,14 +347,13 @@ func main() {
 
 	if *experiment == "all" {
 		for _, e := range experiments.All() {
-			run(e.ID, e.Run)
+			run(e.ID)
 		}
 		return
 	}
-	runner, err := experiments.ByID(*experiment)
-	if err != nil {
+	if _, err := experiments.ByID(*experiment); err != nil {
 		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
 		os.Exit(1)
 	}
-	run(*experiment, runner)
+	run(*experiment)
 }

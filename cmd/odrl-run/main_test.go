@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// writeSpec drops a spec file into a temp dir and returns its path.
+func writeSpec(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// tinySpecJSON is a comparison spec small enough for CLI tests.
+const tinySpecJSON = `{
+  "name": "cli tiny",
+  "workload": "canneal",
+  "controllers": ["pid"],
+  "cores": 4,
+  "budget_w": 8,
+  "warmup_s": 0.05,
+  "measure_s": 0.1,
+  "seeds": [3],
+  "workers": 1
+}`
+
+// TestRunExit2 covers every malformed-invocation path: all must exit 2
+// before any simulation work, with a diagnostic on stderr.
+func TestRunExit2(t *testing.T) {
+	valid := writeSpec(t, "ok.json", tinySpecJSON)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring required on stderr ("" = usage is enough)
+	}{
+		{"no args", nil, "usage:"},
+		{"two positional", []string{valid, valid}, "expected one spec file"},
+		{"builtin plus file", []string{"-builtin", "F1", valid}, "mutually exclusive"},
+		{"builtin plus list", []string{"-builtin", "F1", "-list"}, "mutually exclusive"},
+		{"dry-run with csv", []string{"-dry-run", "-csv", valid}, "conflicts"},
+		{"dry-run with o", []string{"-dry-run", "-o", "x.txt", valid}, "conflicts"},
+		{"list with csv", []string{"-list", "-csv"}, "takes no other flags"},
+		{"list with cache", []string{"-list", "-cache", "d"}, "takes no other flags"},
+		{"unknown flag", []string{"-frobnicate", valid}, "flag provided but not defined"},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+		{"unknown builtin", []string{"-builtin", "F99"}, "no builtin spec"},
+		{
+			"unknown spec field",
+			[]string{writeSpec(t, "bad.json", `{"workloadd": "canneal"}`)},
+			"unknown field",
+		},
+		{
+			"invalid spec",
+			[]string{writeSpec(t, "bad.json", `{"controllers": ["clippy"]}`)},
+			"unknown controller",
+		},
+		{
+			"trailing data",
+			[]string{writeSpec(t, "bad.json", `{} {}`)},
+			"trailing data",
+		},
+		{
+			"quick override re-validated",
+			// Valid on its own, but -j introduces no issue; instead the
+			// spec becomes invalid only after the override is applied:
+			// sweep seed specs reject an explicit seeds list.
+			[]string{writeSpec(t, "bad.json", `{"seeds": [1, 2], "experiment": "F1"}`)},
+			"experiment",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunList: -list prints one line per registered experiment and exits 0.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	ids := scenario.BuiltinIDs()
+	if len(lines) != len(ids) {
+		t.Fatalf("listed %d specs, registry has %d", len(lines), len(ids))
+	}
+	for i, id := range ids {
+		if !strings.HasPrefix(lines[i], id) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], id)
+		}
+	}
+}
+
+// TestRunDryRun: -dry-run prints exactly the canonical spec followed by its
+// content hash, runs nothing, and exits 0.
+func TestRunDryRun(t *testing.T) {
+	path := writeSpec(t, "spec.json", tinySpecJSON)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dry-run", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	spec, err := scenario.LoadBytes([]byte(tinySpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(canon) + "hash: " + hash + "\n"
+	if stdout.String() != want {
+		t.Errorf("dry-run output:\n%s--- want\n%s", stdout.String(), want)
+	}
+}
+
+// TestRunQuickOverride: -dry-run shows that -quick folds into the spec (and
+// so into its identity) before anything runs.
+func TestRunQuickOverride(t *testing.T) {
+	path := writeSpec(t, "spec.json", tinySpecJSON)
+	var plain, quick bytes.Buffer
+	if code := run([]string{"-dry-run", path}, &plain, &plain); code != 0 {
+		t.Fatal(plain.String())
+	}
+	if code := run([]string{"-dry-run", "-quick", path}, &quick, &quick); code != 0 {
+		t.Fatal(quick.String())
+	}
+	if !strings.Contains(quick.String(), `"quick": true`) {
+		t.Errorf("-quick missing from canonical spec:\n%s", quick.String())
+	}
+	if plain.String() == quick.String() {
+		t.Error("-quick did not change the canonical spec or hash")
+	}
+}
+
+// TestRunRunnerFailure: a spec that validates but fails inside the
+// simulation exits 1 (not 2) and caches nothing.
+func TestRunRunnerFailure(t *testing.T) {
+	path := writeSpec(t, "fail.json", `{
+	  "workload": "canneal",
+	  "controllers": ["pid"],
+	  "cores": 4,
+	  "warmup_s": 0.05,
+	  "measure_s": 0.1,
+	  "workers": 1,
+	  "sweep": {"param": "budget", "values": [-5]}
+	}`)
+	cacheDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("failed run left cache entries: %v", entries)
+	}
+}
+
+// TestRunBuiltinParity: the CLI's builtin path renders the same bytes the
+// engine produces for the checked-in spec — no formatting drift in main.
+func TestRunBuiltinParity(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-builtin", "T1", "-quick", "-j", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	spec, err := scenario.Builtin("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Quick = true
+	spec.Workers = 1
+	tbl, _, err := (&scenario.Engine{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if _, err := tbl.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != want.String() {
+		t.Errorf("CLI output differs from engine table:\n--- cli\n%s--- engine\n%s", stdout.String(), want.String())
+	}
+}
+
+// TestRunNovelSpecWithCache is the acceptance scenario: a novel spec
+// combining a non-default platform, a workload, a fault plan and alert
+// rules runs end-to-end; re-running it against the same cache (at a
+// different worker count) is a cache hit with byte-identical output.
+func TestRunNovelSpecWithCache(t *testing.T) {
+	path := writeSpec(t, "novel.json", `{
+	  "name": "ntc canneal under faults",
+	  "platform": "manycore-ntc",
+	  "workload": "canneal",
+	  "controllers": ["pid", "greedy"],
+	  "cores": 8,
+	  "budget_w": 12,
+	  "warmup_s": 0.05,
+	  "measure_s": 0.1,
+	  "seeds": [7],
+	  "fault_plan": {"seed": 11, "dead_core_frac": 0.25},
+	  "alert_rules": [
+	    {"name": "budget-overshoot", "metric": "power_w", "op": ">", "threshold": 14, "for_epochs": 2}
+	  ]
+	}`)
+	cacheDir := t.TempDir()
+
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "-j", "1", path}, &out1, &err1); code != 0 {
+		t.Fatalf("first run exit = %d, stderr: %s", code, err1.String())
+	}
+	if strings.Contains(err1.String(), "cache hit") {
+		t.Fatalf("first run claimed a cache hit: %s", err1.String())
+	}
+	for _, col := range []string{"faults", "alerts"} {
+		if !strings.Contains(out1.String(), col) {
+			t.Errorf("novel-spec table missing %q column:\n%s", col, out1.String())
+		}
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-cache", cacheDir, "-j", "4", path}, &out2, &err2); code != 0 {
+		t.Fatalf("second run exit = %d, stderr: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "cache hit") {
+		t.Fatalf("second run missed the cache: %s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached rerun not byte-identical:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestRunCSVAndOutputFile: -csv and -o route the same table through the
+// CSV writer and to a file.
+func TestRunCSVAndOutputFile(t *testing.T) {
+	path := writeSpec(t, "spec.json", tinySpecJSON)
+	outPath := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-csv", "-o", outPath, path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-o still wrote to stdout: %q", stdout.String())
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "seed,workload,controller") {
+		t.Errorf("CSV header = %q", strings.SplitN(string(b), "\n", 2)[0])
+	}
+}

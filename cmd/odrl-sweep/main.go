@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		warmup      = flag.Float64("warmup", 2, "warmup seconds")
 		measure     = flag.Float64("measure", 4, "measurement seconds")
 		seed        = flag.Uint64("seed", 1, "seed (fixed unless swept)")
+		writeSpec   = flag.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
 		workers     = flag.Int("j", 0, "worker goroutines fanning sweep points out and sharding large chips (0 = one per CPU, 1 = sequential); rows are identical for any value")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file")
 		traceEvery  = flag.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
@@ -46,6 +48,56 @@ func main() {
 		artifacts   = flag.String("artifacts", "", "record every sweep point into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
 	)
 	flag.Parse()
+
+	// Parse and validate every sweep value up front so a bad -values entry
+	// or unknown -param exits immediately, before any trace files or
+	// expensive simulation runs (the fan-out below has no fail-fast).
+	points := strings.Split(*values, ",")
+	parsed := make([]float64, len(points))
+	for i, raw := range points {
+		points[i] = strings.TrimSpace(raw)
+		v, err := strconv.ParseFloat(points[i], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", points[i], err)
+			os.Exit(1)
+		}
+		parsed[i] = v
+	}
+	switch *param {
+	case "budget", "cores", "epoch", "seed":
+	default:
+		fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
+		os.Exit(1)
+	}
+
+	// -write-spec translates the flag invocation into the declarative
+	// scenario contract and exits before any observability side effects.
+	if *writeSpec {
+		spec := scenario.Spec{
+			Workload:    *workloadF,
+			Controllers: []string{*controller},
+			Cores:       *cores,
+			BudgetW:     *budget,
+			WarmupS:     *warmup,
+			MeasureS:    *measure,
+			Sweep:       &scenario.Sweep{Param: *param, Values: parsed},
+		}
+		// A seed sweep owns the seed axis; otherwise the fixed seed pins it.
+		if *param != "seed" {
+			spec.Seeds = []uint64{*seed}
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+			os.Exit(2)
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(canon)
+		return
+	}
 
 	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
 	if err != nil {
@@ -75,27 +127,6 @@ func main() {
 	defer lcli.Close(os.Stderr)
 	if lcli != nil {
 		sim.DefaultLearn = lcli.Layer
-	}
-
-	// Parse and validate every sweep value up front so a bad -values entry
-	// or unknown -param exits immediately, before any expensive simulation
-	// runs (the fan-out below has no fail-fast).
-	points := strings.Split(*values, ",")
-	parsed := make([]float64, len(points))
-	for i, raw := range points {
-		points[i] = strings.TrimSpace(raw)
-		v, err := strconv.ParseFloat(points[i], 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", points[i], err)
-			os.Exit(1)
-		}
-		parsed[i] = v
-	}
-	switch *param {
-	case "budget", "cores", "epoch", "seed":
-	default:
-		fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
-		os.Exit(1)
 	}
 
 	// Sweep points are independent runs: fan them out across -j workers,

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs/learn"
 	"repro/internal/obs/monitor"
 	"repro/internal/plot"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		traceFile   = flag.String("trace", "", "write the first controller's power trace CSV to this file")
 		configFile  = flag.String("config", "", "run a config.Experiment JSON file instead of flags")
 		writeConfig = flag.Bool("write-config", false, "print the default experiment JSON and exit")
+		writeSpec   = flag.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
 		plotTrace   = flag.Bool("plot", false, "render each controller's power trace as an ASCII chart")
 		faultSpec   = flag.String("fault-plan", "", "inject faults: an intensity in [0,1] for the canonical plan, or a plan JSON file path (see internal/fault)")
 		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
@@ -53,6 +55,43 @@ func main() {
 		artifacts   = flag.String("artifacts", "", "record the run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
 	)
 	flag.Parse()
+
+	// -write-spec translates the flag invocation into the declarative
+	// scenario contract and exits before any observability side effects.
+	if *writeSpec {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(2)
+		}
+		names := strings.Split(*controllers, ",")
+		if *controllers == "all" {
+			names = sim.ControllerNames()
+		}
+		spec := scenario.Spec{
+			Workload:    *workloadF,
+			Controllers: names,
+			Cores:       *cores,
+			BudgetW:     *budget,
+			WarmupS:     *warmup,
+			MeasureS:    *measure,
+			Seeds:       []uint64{*seed},
+			SensorNoise: noise,
+			ThermalOff:  *thermalOff,
+			FaultPlan:   plan,
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(2)
+		}
+		canon, err := spec.Canonical()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odrl:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(canon)
+		return
+	}
 
 	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
 	if err != nil {

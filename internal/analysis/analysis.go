@@ -98,6 +98,7 @@ var deterministicPathPkgs = map[string]bool{
 	"sim":         true,
 	"fault":       true,
 	"experiments": true,
+	"scenario":    true,
 	"workload":    true,
 	"power":       true,
 	"vf":          true,

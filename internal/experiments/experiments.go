@@ -127,13 +127,16 @@ func (c Config) env(cores int) sim.Env {
 	return env
 }
 
-// Table is one rendered experiment result.
+// Table is one rendered experiment result. The JSON form is a stable
+// contract: the scenario result cache (internal/scenario) persists tables
+// as content-addressed JSON files, so renaming these keys invalidates
+// every on-disk cache (bump the scenario engine version when doing so).
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // WriteTo renders the table as aligned text.

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// TestComparisonTable pins the comparison run kind: one row per
+// (seed × workload × controller) in spec order, with the shared summary
+// columns and no wall-clock cells.
+func TestComparisonTable(t *testing.T) {
+	spec := Spec{
+		Name:        "grid",
+		Benchmarks:  []string{"canneal", "dedup"},
+		Controllers: []string{"pid", "greedy"},
+		Cores:       4,
+		BudgetW:     8,
+		WarmupS:     0.05,
+		MeasureS:    0.1,
+		Seeds:       []uint64{3, 5},
+		Workers:     1,
+	}
+	eng := &Engine{}
+	tbl, info, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CacheHit {
+		t.Error("cacheless engine reported a hit")
+	}
+	if tbl.ID != "RUN" || tbl.Title != "grid" {
+		t.Errorf("table identity = %q/%q", tbl.ID, tbl.Title)
+	}
+	if got, want := len(tbl.Rows), 2*2*2; got != want {
+		t.Fatalf("row count = %d, want %d", got, want)
+	}
+	wantHeader := []string{"seed", "workload", "controller", "cores", "budget(W)",
+		"BIPS", "mean(W)", "peak(W)", "over(J)", "over-time(%)", "BIPS/W"}
+	if !slices.Equal(tbl.Header, wantHeader) {
+		t.Errorf("header = %v, want %v", tbl.Header, wantHeader)
+	}
+	// Row order: seeds outermost, then workloads, then controllers.
+	if tbl.Rows[0][0] != "3" || tbl.Rows[0][1] != "canneal" || tbl.Rows[0][2] != "pid" {
+		t.Errorf("first row = %v", tbl.Rows[0])
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "5" || last[1] != "dedup" || last[2] != "greedy" {
+		t.Errorf("last row = %v", last)
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "4" {
+			t.Errorf("cores cell = %q, want 4", row[3])
+		}
+	}
+}
+
+// TestComparisonDeterministicAcrossWorkers re-runs the same spec at -j1
+// and -j4 without a cache and requires byte-identical rendered tables.
+func TestComparisonDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		spec := tinySpec()
+		spec.Benchmarks = []string{"canneal", "dedup"}
+		spec.Seeds = []uint64{3, 5}
+		spec.Workers = workers
+		tbl, _, err := (&Engine{}).Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if _, err := tbl.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if seq, par := render(1), render(4); seq != par {
+		t.Errorf("comparison table differs across worker counts:\n--- j1\n%s--- j4\n%s", seq, par)
+	}
+}
+
+// TestSweepTable pins the sweep run kind: values outermost, controllers
+// inner, sweep values rendered in shortest round-trippable form.
+func TestSweepTable(t *testing.T) {
+	spec := Spec{
+		Workload:    "canneal",
+		Controllers: []string{"pid"},
+		Cores:       4,
+		WarmupS:     0.05,
+		MeasureS:    0.1,
+		Workers:     1,
+		Sweep:       &Sweep{Param: "budget", Values: []float64{6, 8.5}},
+	}
+	tbl, _, err := (&Engine{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "SWEEP" {
+		t.Errorf("table ID = %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("row count = %d, want 2", len(tbl.Rows))
+	}
+	if tbl.Header[0] != "budget" {
+		t.Errorf("sweep column header = %q", tbl.Header[0])
+	}
+	if tbl.Rows[0][0] != "6" || tbl.Rows[1][0] != "8.5" {
+		t.Errorf("sweep value cells = %q, %q", tbl.Rows[0][0], tbl.Rows[1][0])
+	}
+	// The swept budget must actually reach the runs.
+	if tbl.Rows[0][3] != "6.000" || tbl.Rows[1][3] != "8.500" {
+		t.Errorf("budget cells = %q, %q", tbl.Rows[0][3], tbl.Rows[1][3])
+	}
+	if !slices.Contains(tbl.Notes, "workload canneal") {
+		t.Errorf("notes missing workload: %v", tbl.Notes)
+	}
+}
+
+// TestMonitoredColumns: fault plans and alert rules add the faults/alerts
+// columns; plain runs must not carry them.
+func TestMonitoredColumns(t *testing.T) {
+	spec := tinySpec()
+	tbl, _, err := (&Engine{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices.Contains(tbl.Header, "faults") {
+		t.Errorf("unmonitored run has a faults column: %v", tbl.Header)
+	}
+
+	spec.FaultPlan = &fault.Plan{DeadCoreFrac: 0.5}
+	tbl, _, err = (&Engine{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(tbl.Header, "faults") || !slices.Contains(tbl.Header, "alerts") {
+		t.Fatalf("fault run missing faults/alerts columns: %v", tbl.Header)
+	}
+	// Half the (tiny) chip dies: the injector must report at least one
+	// core-death event in the faults column.
+	faultsCol := slices.Index(tbl.Header, "faults")
+	if tbl.Rows[0][faultsCol] == "0" {
+		t.Errorf("dead-core run reported zero faults: %v", tbl.Rows[0])
+	}
+}
+
+// TestEngineExperimentDispatch: an experiment spec must produce the exact
+// table the hand-coded runner produces for the derived config.
+func TestEngineExperimentDispatch(t *testing.T) {
+	spec := Spec{Experiment: "T1", Quick: true, Workers: 1}
+	got, _, err := (&Engine{}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.T1Platform(experiments.Config{Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gb, wb strings.Builder
+	if _, err := got.WriteTo(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.WriteTo(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if gb.String() != wb.String() {
+		t.Errorf("engine T1 differs from direct runner:\n--- engine\n%s--- direct\n%s", gb.String(), wb.String())
+	}
+}
+
+// TestEngineRejectsInvalidSpec: validation failures surface before any
+// simulation work and without touching the cache.
+func TestEngineRejectsInvalidSpec(t *testing.T) {
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Cache: cache}
+	_, _, err = eng.Run(Spec{Controllers: []string{"clippy"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown controller") {
+		t.Fatalf("err = %v", err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("invalid spec left %d cache entries", cache.Len())
+	}
+}
