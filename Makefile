@@ -27,9 +27,16 @@ MONITOR_OVERHEAD_MAX ?= 5.0
 # Recalibrated with MONITOR_OVERHEAD_MAX (same faster-denominator effect).
 LEARN_OVERHEAD_MAX ?= 5.0
 
-.PHONY: ci lint lint-allows vet build test test-determinism test-scenarios race-monitor race-learn race-par bench-obs bench bench-par bench-monitor bench-learn bench-step bench-step-smoke fuzz-smoke cover
+# Flight-recorder overhead ceiling for `make bench-flight`, in percent:
+# the epoch loop with the always-on flight ring attached must stay within
+# this fraction of the bare loop. Tighter than the monitor/learn ceilings
+# because the ring push is much lighter (measured 0.8-1.0% on the
+# single-CPU reference container); the gap to 3% absorbs scheduler noise.
+FLIGHT_OVERHEAD_MAX ?= 3.0
 
-ci: lint vet build test test-determinism test-scenarios race-monitor race-learn race-par bench-obs bench-monitor bench-learn bench-step-smoke fuzz-smoke cover
+.PHONY: ci lint lint-allows vet build test test-determinism test-scenarios race-monitor race-learn race-ledger race-par bench-obs bench bench-par bench-monitor bench-learn bench-flight bench-step bench-step-smoke obs-smoke fuzz-smoke cover
+
+ci: lint vet build test test-determinism test-scenarios race-monitor race-learn race-ledger race-par bench-obs bench-monitor bench-learn bench-flight bench-step-smoke obs-smoke fuzz-smoke cover
 
 # Repo-specific invariant analyzers (detrange, rngdiscipline, wallclock,
 # hotpathalloc, kernelparity): compile-time proof of the determinism, RNG,
@@ -81,6 +88,13 @@ race-monitor:
 race-learn:
 	$(GO) test -race -count=1 -run 'TestLearnStoreRace' ./internal/obs/learn/
 
+# Race hammer on the run ledger: concurrent CLI sessions appending to one
+# ledger.jsonl while readers re-parse it, plus the flight recorder's
+# dump-while-recording path.
+race-ledger:
+	$(GO) test -race -count=1 -run 'TestLedgerConcurrentWriters' ./internal/obs/ledger/
+	$(GO) test -race -count=1 -run 'TestDumpAllRacesEpochLoop' ./internal/obs/flight/
+
 # Race gate on the packages the parallel layer touches most; `make test`
 # already runs -race repo-wide, this narrows the loop while iterating.
 race-par:
@@ -107,6 +121,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/obs/learn/
 	$(GO) test -run='^$$' -fuzz='^FuzzAllowComment$$' -fuzztime=$(FUZZTIME) ./internal/analysis/
 	$(GO) test -run='^$$' -fuzz='^FuzzSpecJSON$$' -fuzztime=$(FUZZTIME) ./internal/scenario/
+	$(GO) test -run='^$$' -fuzz='^FuzzRunRecord$$' -fuzztime=$(FUZZTIME) ./internal/obs/ledger/
 
 # Coverage gate: repo-wide statement coverage must stay at or above
 # COVER_FLOOR. Writes cover.out for `go tool cover -html=cover.out`.
@@ -116,6 +131,34 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
 		if (t + 0 < f + 0) { printf "coverage %.1f%% is below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
+
+# Flight-recorder-off-vs-on wall-clock comparison: writes BENCH_flight.json
+# and fails if any case's epoch-loop overhead exceeds FLIGHT_OVERHEAD_MAX %.
+# The off leg runs with no observer at all, so the number is the full cost
+# of always-on post-mortem recording.
+bench-flight:
+	$(GO) run ./cmd/odrl-bench -bench-flight BENCH_flight.json
+	@awk -v max="$(FLIGHT_OVERHEAD_MAX)" ' \
+		/"overhead_frac"/ { \
+			v = $$0; sub(/.*"overhead_frac":[ \t]*/, "", v); sub(/[,}].*/, "", v); \
+			pct = 100 * v; \
+			if (pct > max + 0) { printf "flight overhead %.2f%% exceeds %.1f%% ceiling\n", pct, max; bad = 1 } \
+			else { printf "flight overhead %.2f%% (ceiling %.1f%%)\n", pct, max } \
+		} \
+		END { exit bad }' BENCH_flight.json
+
+# End-to-end observatory smoke: two short ledgered runs into a scratch
+# ledger, then pin the first-run baseline, regression-check the re-run and
+# list the history. Proves the whole record->query->gate loop outside unit
+# tests; the scratch dir keeps CI runs out of the operator's real ledger.
+obs-smoke:
+	rm -rf .odrl-smoke
+	ODRL_LEDGER=.odrl-smoke/ledger $(GO) run ./cmd/odrl -controllers greedy -cores 16 -warmup 0.2 -measure 0.5
+	ODRL_LEDGER=.odrl-smoke/ledger $(GO) run ./cmd/odrl-obs -pin latest
+	ODRL_LEDGER=.odrl-smoke/ledger $(GO) run ./cmd/odrl -controllers greedy -cores 16 -warmup 0.2 -measure 0.5
+	ODRL_LEDGER=.odrl-smoke/ledger $(GO) run ./cmd/odrl-obs -check
+	ODRL_LEDGER=.odrl-smoke/ledger $(GO) run ./cmd/odrl-obs -list
+	rm -rf .odrl-smoke
 
 # Epoch-kernel throughput gate: writes BENCH_step.json (epochs/sec at
 # 64/256/1024 cores, struct-of-arrays vs the retained reference kernel)

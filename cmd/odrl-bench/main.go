@@ -12,8 +12,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,50 +27,76 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/monitor"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchFlags carries every flag into the dispatch body.
+type benchFlags struct {
+	experiment, cacheDir, faultSpec                        string
+	benchPar, benchMon, benchLearn, benchStep, benchFlight string
+	outDir, reportFile, traceEvents, debugAddr             string
+	alertRules, perfetto, artifacts                        string
+	quick, monitorOn, learnOn                              bool
+	cores, workers, traceEvery, snapEvery                  int
+	budget                                                 float64
+	seed                                                   uint64
+}
+
+// run is the whole CLI behind a testable seam. Exit code 2 means the
+// invocation was malformed, 1 means a bench or experiment failed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("odrl-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment  = flag.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
-		cacheDir    = flag.String("cache", "", "content-addressed result cache directory shared with odrl-run ('' = no cache); only table runs are cached, never bench or report modes")
-		quick       = flag.Bool("quick", false, "shrink runs for a fast smoke pass")
-		cores       = flag.Int("cores", 0, "override platform core count")
-		budget      = flag.Float64("budget", 0, "override chip budget (W)")
-		seed        = flag.Uint64("seed", 0, "override random seed")
-		workers     = flag.Int("j", 0, "worker goroutines for run fan-out and chip sharding (0 = one per CPU, 1 = sequential); results are identical for any value")
-		faultSpec   = flag.String("fault-plan", "", "inject faults into every run: an intensity in [0,1] for the canonical plan, or a plan JSON file path (F18 sweeps its own plans)")
-		benchPar    = flag.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
-		benchMon    = flag.String("bench-monitor", "", "measure monitoring-off-vs-on wall clock and write a JSON report (e.g. BENCH_monitor.json) to this file, then exit")
-		benchLearn  = flag.String("bench-learn", "", "measure learning-introspection-off-vs-on wall clock and write a JSON report (e.g. BENCH_learn.json) to this file, then exit")
-		benchStep   = flag.String("bench-step", "", "measure single-thread epoch-kernel throughput (struct-of-arrays vs reference) and write a JSON report (e.g. BENCH_step.json) to this file, then exit non-zero if the speedup gate fails")
-		outDir      = flag.String("o", "", "also write one CSV per experiment into this directory")
-		reportFile  = flag.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
-		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
-		traceEvery  = flag.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address for live profiling")
-		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
-		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
-		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
-		learnOn     = flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
-		snapEvery   = flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
-		artifacts   = flag.String("artifacts", "", "record every run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file on clean exit (go tool pprof format)")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on clean exit, after a final GC")
+		experiment  = fs.String("experiment", "all", "experiment ID (T1, T2, F1..F10) or 'all'")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory shared with odrl-run ('' = no cache); only table runs are cached, never bench or report modes")
+		quick       = fs.Bool("quick", false, "shrink runs for a fast smoke pass")
+		cores       = fs.Int("cores", 0, "override platform core count")
+		budget      = fs.Float64("budget", 0, "override chip budget (W)")
+		seed        = fs.Uint64("seed", 0, "override random seed")
+		workers     = fs.Int("j", 0, "worker goroutines for run fan-out and chip sharding (0 = one per CPU, 1 = sequential); results are identical for any value")
+		faultSpec   = fs.String("fault-plan", "", "inject faults into every run: an intensity in [0,1] for the canonical plan, or a plan JSON file path (F18 sweeps its own plans)")
+		benchPar    = fs.String("bench-par", "", "measure sequential-vs-parallel wall clock and write a JSON report (e.g. BENCH_par.json) to this file, then exit")
+		benchMon    = fs.String("bench-monitor", "", "measure monitoring-off-vs-on wall clock and write a JSON report (e.g. BENCH_monitor.json) to this file, then exit")
+		benchLearn  = fs.String("bench-learn", "", "measure learning-introspection-off-vs-on wall clock and write a JSON report (e.g. BENCH_learn.json) to this file, then exit")
+		benchStep   = fs.String("bench-step", "", "measure single-thread epoch-kernel throughput (struct-of-arrays vs reference) and write a JSON report (e.g. BENCH_step.json) to this file, then exit non-zero if the speedup gate fails")
+		benchFlight = fs.String("bench-flight", "", "measure flight-recorder-off-vs-on wall clock and write a JSON report (e.g. BENCH_flight.json) to this file, then exit")
+		outDir      = fs.String("o", "", "also write one CSV per experiment into this directory")
+		reportFile  = fs.String("report", "", "write a complete markdown report (claim verdicts + all tables) to this file and exit")
+		traceEvents = fs.String("trace-events", "", "write structured JSONL epoch events for every run to this file")
+		traceEvery  = fs.Int("trace-every", 100, "sample every Nth epoch in -trace-events output")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address for live profiling")
+		monitorOn   = fs.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = fs.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = fs.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+		learnOn     = fs.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
+		snapEvery   = fs.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
+		artifacts   = fs.String("artifacts", "", "record every run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file on clean exit (go tool pprof format)")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file on clean exit, after a final GC")
+		ledgerDir   = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record and arm the flight recorder")
+		noLedger    = fs.Bool("no-ledger", false, "disable the run ledger and flight recorder")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "odrl-bench:", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "odrl-bench:", err)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -79,213 +107,252 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+				fmt.Fprintln(stderr, "odrl-bench:", err)
 				return
 			}
 			runtime.GC() // settle to live objects so the profile shows retained heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "odrl-bench:", err)
+				fmt.Fprintln(stderr, "odrl-bench:", err)
 			}
 			f.Close()
 		}()
 	}
 
-	if *benchPar != "" {
-		rep, err := experiments.BenchPar(*workers)
+	// Every execution mode — bench, report and tables — records a run; the
+	// bench modes additionally fold their BENCH_*.json into the record so
+	// odrl-obs can trend overheads across commits.
+	lcli := ledger.StartCLI("odrl-bench", args, ledger.ResolveDir(*ledgerDir), *noLedger)
+	code, runErr := benchMain(stdout, stderr, lcli, benchFlags{
+		experiment: *experiment, cacheDir: *cacheDir, faultSpec: *faultSpec,
+		benchPar: *benchPar, benchMon: *benchMon, benchLearn: *benchLearn,
+		benchStep: *benchStep, benchFlight: *benchFlight,
+		outDir: *outDir, reportFile: *reportFile, traceEvents: *traceEvents,
+		debugAddr: *debugAddr, alertRules: *alertRules, perfetto: *perfetto,
+		artifacts: *artifacts, quick: *quick, monitorOn: *monitorOn,
+		learnOn: *learnOn, cores: *cores, workers: *workers,
+		traceEvery: *traceEvery, snapEvery: *snapEvery, budget: *budget,
+		seed: *seed,
+	})
+	lcli.Finish(runErr)
+	if runErr != nil {
+		fmt.Fprintln(stderr, "odrl-bench:", runErr)
+	}
+	return code
+}
+
+// benchReport is the common shape of every bench mode's output.
+type benchReport interface {
+	WriteJSON(io.Writer) error
+}
+
+// emitBench renders a bench report once, records it in the run ledger (as
+// both an artifact and per-case bench points), and writes the JSON file.
+func emitBench(lcli *ledger.CLI, path, kind string, rep benchReport, points []ledger.BenchPoint) error {
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	for _, p := range points {
+		lcli.AddBenchPoint(kind, p.Case, p.Metric, p.Value)
+	}
+	lcli.AddArtifact(filepath.Base(path), buf.Bytes())
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// benchMain dispatches one invocation. The int is the process exit code;
+// a non-nil error is both printed and recorded in the run ledger.
+func benchMain(stdout, stderr io.Writer, lcli *ledger.CLI, f benchFlags) (int, error) {
+	if f.benchPar != "" {
+		rep, err := experiments.BenchPar(f.workers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
-		f, err := os.Create(*benchPar)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+		var pts []ledger.BenchPoint
+		for _, c := range rep.Cases {
+			pts = append(pts, ledger.BenchPoint{Case: c.Name, Metric: "speedup", Value: c.Speedup})
 		}
-		werr := rep.WriteJSON(f)
-		cerr := f.Close()
-		if werr != nil || cerr != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
-			os.Exit(1)
+		if err := emitBench(lcli, f.benchPar, "par", rep, pts); err != nil {
+			return 1, err
 		}
 		for _, c := range rep.Cases {
-			fmt.Printf("%-32s workers=%d  seq %.2fs  par %.2fs  speedup %.2fx\n",
+			fmt.Fprintf(stdout, "%-32s workers=%d  seq %.2fs  par %.2fs  speedup %.2fx\n",
 				c.Name, c.Workers, c.SequentialS, c.ParallelS, c.Speedup)
 		}
-		fmt.Printf("report written to %s (%d CPUs)\n", *benchPar, rep.HostCPUs)
-		return
+		fmt.Fprintf(stdout, "report written to %s (%d CPUs)\n", f.benchPar, rep.HostCPUs)
+		return 0, nil
 	}
 
-	if *benchStep != "" {
-		rep, err := experiments.BenchStep(experiments.Config{Quick: *quick})
+	if f.benchStep != "" {
+		rep, err := experiments.BenchStep(experiments.Config{Quick: f.quick})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
-		f, err := os.Create(*benchStep)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+		var pts []ledger.BenchPoint
+		for _, c := range rep.Cases {
+			pts = append(pts, ledger.BenchPoint{Case: c.Name, Metric: "speedup", Value: c.Speedup})
 		}
-		werr := rep.WriteJSON(f)
-		cerr := f.Close()
-		if werr != nil || cerr != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
-			os.Exit(1)
+		if err := emitBench(lcli, f.benchStep, "step", rep, pts); err != nil {
+			return 1, err
 		}
 		for _, c := range rep.Cases {
-			fmt.Printf("%-24s cores=%-5d soa %10.0f ep/s  ref %9.0f ep/s  speedup %.2fx\n",
+			fmt.Fprintf(stdout, "%-24s cores=%-5d soa %10.0f ep/s  ref %9.0f ep/s  speedup %.2fx\n",
 				c.Name, c.Cores, c.EpochsPerSec, c.ReferenceEpochsPerSec, c.Speedup)
 		}
-		fmt.Printf("report written to %s (%d CPUs)\n", *benchStep, rep.HostCPUs)
-		if !*quick && !rep.Gate.Pass {
-			fmt.Fprintf(os.Stderr, "odrl-bench: throughput gate FAILED: %s speedup %.2fx < %.1fx\n",
+		fmt.Fprintf(stdout, "report written to %s (%d CPUs)\n", f.benchStep, rep.HostCPUs)
+		if !f.quick && !rep.Gate.Pass {
+			return 1, fmt.Errorf("throughput gate FAILED: %s speedup %.2fx < %.1fx",
 				rep.Gate.Case, rep.Gate.Speedup, rep.Gate.MinSpeedup)
-			os.Exit(1)
 		}
-		return
+		return 0, nil
 	}
 
-	if *benchMon != "" {
+	if f.benchMon != "" {
 		rep, err := experiments.BenchMonitor()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
-		f, err := os.Create(*benchMon)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+		var pts []ledger.BenchPoint
+		for _, c := range rep.Cases {
+			pts = append(pts, ledger.BenchPoint{Case: c.Name, Metric: "overhead_frac", Value: c.OverheadFrac})
 		}
-		werr := rep.WriteJSON(f)
-		cerr := f.Close()
-		if werr != nil || cerr != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
-			os.Exit(1)
+		if err := emitBench(lcli, f.benchMon, "monitor", rep, pts); err != nil {
+			return 1, err
 		}
 		for _, c := range rep.Cases {
-			fmt.Printf("%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
+			fmt.Fprintf(stdout, "%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
 				c.Name, c.Epochs, c.OffS, c.OnS, 100*c.OverheadFrac)
 		}
-		fmt.Printf("report written to %s (%d CPUs)\n", *benchMon, rep.HostCPUs)
-		return
+		fmt.Fprintf(stdout, "report written to %s (%d CPUs)\n", f.benchMon, rep.HostCPUs)
+		return 0, nil
 	}
 
-	if *benchLearn != "" {
+	if f.benchLearn != "" {
 		rep, err := experiments.BenchLearn()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
-		f, err := os.Create(*benchLearn)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+		var pts []ledger.BenchPoint
+		for _, c := range rep.Cases {
+			pts = append(pts, ledger.BenchPoint{Case: c.Name, Metric: "overhead_frac", Value: c.OverheadFrac})
 		}
-		werr := rep.WriteJSON(f)
-		cerr := f.Close()
-		if werr != nil || cerr != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %v %v\n", werr, cerr)
-			os.Exit(1)
+		if err := emitBench(lcli, f.benchLearn, "learn", rep, pts); err != nil {
+			return 1, err
 		}
 		for _, c := range rep.Cases {
-			fmt.Printf("%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
+			fmt.Fprintf(stdout, "%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
 				c.Name, c.Epochs, c.OffS, c.OnS, 100*c.OverheadFrac)
 		}
-		fmt.Printf("report written to %s (%d CPUs)\n", *benchLearn, rep.HostCPUs)
-		return
+		fmt.Fprintf(stdout, "report written to %s (%d CPUs)\n", f.benchLearn, rep.HostCPUs)
+		return 0, nil
 	}
 
-	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(2)
+	if f.benchFlight != "" {
+		rep, err := experiments.BenchFlight()
+		if err != nil {
+			return 1, err
+		}
+		var pts []ledger.BenchPoint
+		for _, c := range rep.Cases {
+			pts = append(pts, ledger.BenchPoint{Case: c.Name, Metric: "overhead_frac", Value: c.OverheadFrac})
+		}
+		if err := emitBench(lcli, f.benchFlight, "flight", rep, pts); err != nil {
+			return 1, err
+		}
+		for _, c := range rep.Cases {
+			fmt.Fprintf(stdout, "%-32s epochs=%d  off %.2fs  on %.2fs  overhead %.2f%%\n",
+				c.Name, c.Epochs, c.OffS, c.OnS, 100*c.OverheadFrac)
+		}
+		fmt.Fprintf(stdout, "report written to %s (%d CPUs)\n", f.benchFlight, rep.HostCPUs)
+		return 0, nil
 	}
-	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
+
+	tracePath, traceStride, err := learn.ResolveTrace(f.traceEvents, f.traceEvery, f.artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(1)
+		return 2, err
+	}
+	ocli, err := obs.StartCLI(tracePath, traceStride, f.debugAddr)
+	if err != nil {
+		return 1, err
 	}
 	defer ocli.Close()
-	// Experiments assemble runs internally, so the tracer hooks in through
-	// the harness-level default observer.
-	sim.DefaultObserver = ocli.Observer()
-	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
+	// Experiments assemble runs internally, so the tracer (and the ledger's
+	// flight recorder around it) hooks in through the harness-level default
+	// observer. Bench modes never reach this point: their off legs must stay
+	// recorder-free or the comparison measures the recorder against itself.
+	prevObs, prevSpan := sim.DefaultObserver, sim.DefaultSpanSink
+	sim.DefaultObserver = lcli.WrapObserver(ocli.Observer())
+	sim.DefaultSpanSink = lcli.SpanSink()
+	defer func() { sim.DefaultObserver, sim.DefaultSpanSink = prevObs, prevSpan }()
+	mcli, err := monitor.StartCLI(ocli, f.monitorOn, f.alertRules, f.perfetto)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(1)
+		return 1, err
 	}
 	defer mcli.Close(os.Stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
 	}
-	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	lrncli, err := learn.StartCLI(ocli, f.learnOn, f.snapEvery, f.artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(2)
+		return 2, err
 	}
-	defer lcli.Close(os.Stderr)
-	if lcli != nil {
-		sim.DefaultLearn = lcli.Layer
+	defer lrncli.Close(os.Stderr)
+	if lrncli != nil {
+		sim.DefaultLearn = lrncli.Layer
 	}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+	if f.outDir != "" {
+		if err := os.MkdirAll(f.outDir, 0o755); err != nil {
+			return 1, err
 		}
 	}
 
 	cfg := experiments.Default()
-	cfg.Quick = *quick
-	cfg.Workers = *workers
-	plan, err := fault.ParseSpec(*faultSpec)
+	cfg.Quick = f.quick
+	cfg.Workers = f.workers
+	plan, err := fault.ParseSpec(f.faultSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(1)
+		return 1, err
 	}
 	cfg.FaultPlan = plan
-	if *cores > 0 {
-		cfg.Cores = *cores
+	if f.cores > 0 {
+		cfg.Cores = f.cores
 	}
-	if *budget > 0 {
-		cfg.BudgetW = *budget
+	if f.budget > 0 {
+		cfg.BudgetW = f.budget
 	}
-	if *seed > 0 {
-		cfg.Seed = *seed
+	if f.seed > 0 {
+		cfg.Seed = f.seed
 	}
 
-	if *reportFile != "" {
-		f, err := os.Create(*reportFile)
+	if f.reportFile != "" {
+		rf, err := os.Create(f.reportFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
 		ropts := experiments.ReportOptions{Config: cfg}
-		if *experiment != "all" {
-			ropts.IDs = []string{*experiment}
+		if f.experiment != "all" {
+			ropts.IDs = []string{f.experiment}
 		}
 		ropts.Elapsed = func(id string, d time.Duration) {
-			fmt.Printf("(%s finished in %.1fs)\n", id, d.Seconds())
+			fmt.Fprintf(stdout, "(%s finished in %.1fs)\n", id, d.Seconds())
 		}
-		werr := experiments.WriteReport(f, ropts)
-		cerr := f.Close()
+		werr := experiments.WriteReport(rf, ropts)
+		cerr := rf.Close()
 		if werr != nil || cerr != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: report: %v %v\n", werr, cerr)
-			os.Exit(1)
+			return 1, fmt.Errorf("report: %v %v", werr, cerr)
 		}
-		fmt.Printf("report written to %s\n", *reportFile)
-		return
+		fmt.Fprintf(stdout, "report written to %s\n", f.reportFile)
+		return 0, nil
 	}
 
 	// Table runs go through the scenario engine: each experiment's
 	// checked-in spec, with the CLI flags folded in as spec overrides, so
 	// odrl-bench and odrl-run share one execution path and one cache.
 	engine := &scenario.Engine{}
-	if *cacheDir != "" {
-		cache, err := scenario.NewCache(*cacheDir)
+	if f.cacheDir != "" {
+		cache, err := scenario.NewCache(f.cacheDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-			os.Exit(1)
+			return 1, err
 		}
 		engine.Cache = cache
 	}
@@ -294,66 +361,67 @@ func main() {
 		if err != nil {
 			return scenario.Spec{}, err
 		}
-		spec.Quick = *quick
-		spec.Workers = *workers
+		spec.Quick = f.quick
+		spec.Workers = f.workers
 		spec.FaultPlan = plan
-		if *cores > 0 {
-			spec.Cores = *cores
+		if f.cores > 0 {
+			spec.Cores = f.cores
 		}
-		if *budget > 0 {
-			spec.BudgetW = *budget
+		if f.budget > 0 {
+			spec.BudgetW = f.budget
 		}
-		if *seed > 0 {
-			spec.Seeds = []uint64{*seed}
+		if f.seed > 0 {
+			spec.Seeds = []uint64{f.seed}
 		}
 		return spec, nil
 	}
 
-	run := func(id string) {
+	runOne := func(id string) error {
 		start := time.Now()
 		spec, err := specFor(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		tbl, info, err := engine.Run(spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
+		lcli.RecordScenario(spec.Experiment, info.Hash, scenario.EngineVersion, info.CacheHit)
 		if info.CacheHit {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %s: cache hit %s\n", id, info.Hash)
+			fmt.Fprintf(stderr, "odrl-bench: %s: cache hit %s\n", id, info.Hash)
 		}
-		if _, err := tbl.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
-			os.Exit(1)
+		if _, err := tbl.WriteTo(stdout); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		if *outDir != "" {
-			path := filepath.Join(*outDir, strings.ToLower(id)+".csv")
-			f, err := os.Create(path)
+		if f.outDir != "" {
+			path := filepath.Join(f.outDir, strings.ToLower(id)+".csv")
+			cf, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "odrl-bench: %s: %v\n", id, err)
-				os.Exit(1)
+				return fmt.Errorf("%s: %w", id, err)
 			}
-			werr := tbl.WriteCSV(f)
-			cerr := f.Close()
+			werr := tbl.WriteCSV(cf)
+			cerr := cf.Close()
 			if werr != nil || cerr != nil {
-				fmt.Fprintf(os.Stderr, "odrl-bench: %s: write %s failed\n", id, path)
-				os.Exit(1)
+				return fmt.Errorf("%s: write %s failed", id, path)
 			}
 		}
-		fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+		return nil
 	}
 
-	if *experiment == "all" {
+	if f.experiment == "all" {
 		for _, e := range experiments.All() {
-			run(e.ID)
+			if err := runOne(e.ID); err != nil {
+				return 1, err
+			}
 		}
-		return
+		return 0, nil
 	}
-	if _, err := experiments.ByID(*experiment); err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-bench:", err)
-		os.Exit(1)
+	if _, err := experiments.ByID(f.experiment); err != nil {
+		return 1, err
 	}
-	run(*experiment)
+	if err := runOne(f.experiment); err != nil {
+		return 1, err
+	}
+	return 0, nil
 }

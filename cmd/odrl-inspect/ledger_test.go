@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/obs/ledger"
+)
+
+// TestMain points the run ledger at a throwaway directory so CLI tests
+// never write .odrl/ into the package tree.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "odrl-ledger-test")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv(ledger.EnvDir, dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
+	"repro/internal/obs/ledger"
 )
 
 func main() {
@@ -48,8 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("odrl-inspect", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID = fs.Int64("run", 0, "trace run ID to inspect when a directory holds several (default: the first recorded)")
-		width = fs.Int("width", 60, "learning-curve sparkline width in characters")
+		runID     = fs.Int64("run", 0, "trace run ID to inspect when a directory holds several (default: the first recorded)")
+		width     = fs.Int("width", 60, "learning-curve sparkline width in characters")
+		ledgerDir = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record")
+		noLedger  = fs.Bool("no-ledger", false, "disable the run ledger")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: odrl-inspect [flags] RUNDIR [RUNDIR2]")
@@ -68,10 +71,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	lcli := ledger.StartCLI("odrl-inspect", args, ledger.ResolveDir(*ledgerDir), *noLedger)
 	runs := make([]*runData, len(dirs))
 	for i, dir := range dirs {
 		rd, err := loadRun(dir, *runID)
 		if err != nil {
+			lcli.Finish(err)
 			fmt.Fprintln(stderr, "odrl-inspect:", err)
 			return 1
 		}
@@ -85,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		diff(stdout, runs[0], runs[1])
 	}
+	lcli.Finish(nil)
 	return 0
 }
 

@@ -7,8 +7,22 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs/ledger"
 	"repro/internal/scenario"
 )
+
+// TestMain points the run ledger at a throwaway directory so CLI tests
+// never write .odrl/ into the package tree.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "odrl-run-ledger")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv(ledger.EnvDir, dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 // writeSpec drops a spec file into a temp dir and returns its path.
 func writeSpec(t *testing.T, name, body string) string {
@@ -249,6 +263,79 @@ func TestRunNovelSpecWithCache(t *testing.T) {
 	}
 	if out1.String() != out2.String() {
 		t.Errorf("cached rerun not byte-identical:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestRunLedgerRecord: a real execution appends exactly one run record
+// carrying the scenario join key (spec hash) and cache-hit flag, -no-ledger
+// leaves no trace, and a failed run is recorded as failed.
+func TestRunLedgerRecord(t *testing.T) {
+	path := writeSpec(t, "spec.json", tinySpecJSON)
+	ldir := t.TempDir()
+	cacheDir := t.TempDir()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-ledger", ldir, "-cache", cacheDir, path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	recs, errs := ledger.Read(ldir)
+	if len(errs) > 0 || len(recs) != 1 {
+		t.Fatalf("records=%d errs=%v", len(recs), errs)
+	}
+	r := recs[0]
+	if r.Tool != "odrl-run" || r.Status != ledger.StatusOK {
+		t.Fatalf("record: tool=%q status=%q", r.Tool, r.Status)
+	}
+	if len(r.Scenarios) != 1 || r.Scenarios[0].SpecHash == "" || r.Scenarios[0].CacheHit {
+		t.Fatalf("scenarios: %+v", r.Scenarios)
+	}
+	if len(r.Runs) == 0 || r.Runs[0].Epochs == 0 {
+		t.Fatalf("no run summaries observed: %+v", r.Runs)
+	}
+
+	// The cached rerun still records a run, marked as a cache hit.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-ledger", ldir, "-cache", cacheDir, path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("rerun exit = %d, stderr: %s", code, stderr.String())
+	}
+	recs, errs = ledger.Read(ldir)
+	if len(errs) > 0 || len(recs) != 2 {
+		t.Fatalf("after rerun: records=%d errs=%v", len(recs), errs)
+	}
+	if !recs[1].Scenarios[0].CacheHit {
+		t.Fatalf("rerun not marked cache hit: %+v", recs[1].Scenarios)
+	}
+	if recs[0].Scenarios[0].SpecHash != recs[1].Scenarios[0].SpecHash {
+		t.Fatal("spec hash join key differs between identical runs")
+	}
+
+	// -no-ledger must leave the directory untouched.
+	before := len(recs)
+	if code := run([]string{"-ledger", ldir, "-no-ledger", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("no-ledger exit = %d, stderr: %s", code, stderr.String())
+	}
+	recs, _ = ledger.Read(ldir)
+	if len(recs) != before {
+		t.Fatalf("-no-ledger still appended: %d -> %d", before, len(recs))
+	}
+
+	// A failing run is recorded with status=failed and the error text.
+	bad := writeSpec(t, "fail.json", `{
+	  "workload": "canneal", "controllers": ["pid"], "cores": 4,
+	  "warmup_s": 0.05, "measure_s": 0.1, "workers": 1,
+	  "sweep": {"param": "budget", "values": [-5]}
+	}`)
+	if code := run([]string{"-ledger", ldir, bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad run exit = %d, stderr: %s", code, stderr.String())
+	}
+	recs, errs = ledger.Read(ldir)
+	if len(errs) > 0 || len(recs) != before+1 {
+		t.Fatalf("after failure: records=%d errs=%v", len(recs), errs)
+	}
+	last := recs[len(recs)-1]
+	if last.Status != ledger.StatusFailed || last.Error == "" {
+		t.Fatalf("failed run record: status=%q error=%q", last.Status, last.Error)
 	}
 }
 

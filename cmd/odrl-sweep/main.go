@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/monitor"
 	"repro/internal/par"
 	"repro/internal/scenario"
@@ -25,29 +27,41 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam. Exit code 2 means the
+// invocation was malformed, 1 means a sweep point failed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("odrl-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		controller  = flag.String("controller", "od-rl", "controller name")
-		param       = flag.String("param", "budget", "swept parameter: budget | cores | epoch | seed")
-		values      = flag.String("values", "40,55,70,90", "comma-separated sweep values")
-		cores       = flag.Int("cores", 64, "core count (fixed unless swept)")
-		budget      = flag.Float64("budget", 55, "budget in W (fixed unless swept)")
-		workloadF   = flag.String("workload", "mix", "workload preset or 'mix'")
-		warmup      = flag.Float64("warmup", 2, "warmup seconds")
-		measure     = flag.Float64("measure", 4, "measurement seconds")
-		seed        = flag.Uint64("seed", 1, "seed (fixed unless swept)")
-		writeSpec   = flag.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
-		workers     = flag.Int("j", 0, "worker goroutines fanning sweep points out and sharding large chips (0 = one per CPU, 1 = sequential); rows are identical for any value")
-		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file")
-		traceEvery  = flag.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address")
-		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
-		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
-		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
-		learnOn     = flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
-		snapEvery   = flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
-		artifacts   = flag.String("artifacts", "", "record every sweep point into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		controller  = fs.String("controller", "od-rl", "controller name")
+		param       = fs.String("param", "budget", "swept parameter: budget | cores | epoch | seed")
+		values      = fs.String("values", "40,55,70,90", "comma-separated sweep values")
+		cores       = fs.Int("cores", 64, "core count (fixed unless swept)")
+		budget      = fs.Float64("budget", 55, "budget in W (fixed unless swept)")
+		workloadF   = fs.String("workload", "mix", "workload preset or 'mix'")
+		warmup      = fs.Float64("warmup", 2, "warmup seconds")
+		measure     = fs.Float64("measure", 4, "measurement seconds")
+		seed        = fs.Uint64("seed", 1, "seed (fixed unless swept)")
+		writeSpec   = fs.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
+		workers     = fs.Int("j", 0, "worker goroutines fanning sweep points out and sharding large chips (0 = one per CPU, 1 = sequential); rows are identical for any value")
+		traceEvents = fs.String("trace-events", "", "write structured JSONL epoch events to this file")
+		traceEvery  = fs.Int("trace-every", 10, "sample every Nth epoch in -trace-events output")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address")
+		monitorOn   = fs.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = fs.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = fs.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+		learnOn     = fs.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
+		snapEvery   = fs.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
+		artifacts   = fs.String("artifacts", "", "record every sweep point into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		ledgerDir   = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record and arm the flight recorder")
+		noLedger    = fs.Bool("no-ledger", false, "disable the run ledger and flight recorder")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// Parse and validate every sweep value up front so a bad -values entry
 	// or unknown -param exits immediately, before any trace files or
@@ -58,16 +72,16 @@ func main() {
 		points[i] = strings.TrimSpace(raw)
 		v, err := strconv.ParseFloat(points[i], 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "odrl-sweep: bad value %q: %v\n", points[i], err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "odrl-sweep: bad value %q: %v\n", points[i], err)
+			return 2
 		}
 		parsed[i] = v
 	}
 	switch *param {
 	case "budget", "cores", "epoch", "seed":
 	default:
-		fmt.Fprintf(os.Stderr, "odrl-sweep: unknown param %q\n", *param)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "odrl-sweep: unknown param %q\n", *param)
+		return 2
 	}
 
 	// -write-spec translates the flag invocation into the declarative
@@ -87,47 +101,54 @@ func main() {
 			spec.Seeds = []uint64{*seed}
 		}
 		if err := spec.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "odrl-sweep:", err)
+			return 2
 		}
 		canon, err := spec.Canonical()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "odrl-sweep:", err)
+			return 2
 		}
-		os.Stdout.Write(canon)
-		return
+		stdout.Write(canon)
+		return 0
 	}
 
 	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "odrl-sweep:", err)
+		return 2
 	}
 	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "odrl-sweep:", err)
+		return 1
 	}
 	defer ocli.Close()
 	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "odrl-sweep:", err)
+		return 1
 	}
 	defer mcli.Close(os.Stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
 	}
-	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	lrncli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "odrl-sweep:", err)
+		return 2
 	}
-	defer lcli.Close(os.Stderr)
-	if lcli != nil {
-		sim.DefaultLearn = lcli.Layer
+	defer lrncli.Close(os.Stderr)
+	if lrncli != nil {
+		sim.DefaultLearn = lrncli.Layer
 	}
+	lcli := ledger.StartCLI("odrl-sweep", args, ledger.ResolveDir(*ledgerDir), *noLedger)
+	// Sweep points pass opts.Observer explicitly (the fan-out never touches
+	// the harness default), so the flight recorder wraps that chain here.
+	observer := lcli.WrapObserver(ocli.Observer())
+	prevSpan := sim.DefaultSpanSink
+	sim.DefaultSpanSink = lcli.SpanSink()
+	defer func() { sim.DefaultSpanSink = prevSpan }()
 
 	// Sweep points are independent runs: fan them out across -j workers,
 	// then print rows in sweep order from index-addressed results so the
@@ -143,7 +164,7 @@ func main() {
 		opts.MeasureS = *measure
 		opts.Seed = *seed
 		opts.Workers = *workers
-		opts.Observer = ocli.Observer()
+		opts.Observer = observer
 		switch *param {
 		case "budget":
 			opts.BudgetW = v
@@ -172,12 +193,14 @@ func main() {
 			s.OverJ, s.OverTimeFrac(), s.EnergyEff(), s.CtrlTimeS,
 			s.CtrlLocalTimeS, s.CtrlGlobalTimeS), nil
 	})
+	lcli.Finish(err)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl-sweep:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "odrl-sweep:", err)
+		return 1
 	}
-	fmt.Println("param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s,ctrl_local_s,ctrl_global_s")
+	fmt.Fprintln(stdout, "param,value,controller,bips,mean_w,peak_w,over_j,over_time_frac,bips_per_w,ctrl_s,ctrl_local_s,ctrl_global_s")
 	for _, row := range rows {
-		fmt.Println(row)
+		fmt.Fprintln(stdout, row)
 	}
+	return 0
 }

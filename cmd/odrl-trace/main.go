@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/monitor"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -47,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		learnOn   = fs.Bool("learn", false, "enable learning introspection (only meaningful with a mode that runs simulation epochs)")
 		snapEvery = fs.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (requires -artifacts)")
 		artifacts = fs.String("artifacts", "", "record simulation runs into this directory: full JSONL trace plus policy snapshots (implies -learn)")
+		ledgerDir = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record and arm the flight recorder")
+		noLedger  = fs.Bool("no-ledger", false, "disable the run ledger and flight recorder")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,11 +80,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	fail := func(err error) int {
-		fmt.Fprintln(stderr, "odrl-trace:", err)
-		return 1
-	}
-
 	tracePath, traceStride, err := learn.ResolveTrace("", 1, *artifacts)
 	if err != nil {
 		fmt.Fprintln(stderr, "odrl-trace:", err)
@@ -89,7 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
-		return fail(err)
+		fmt.Fprintln(stderr, "odrl-trace:", err)
+		return 1
 	}
 	defer ocli.Close()
 	// Trace recording itself runs no simulation epochs, but the monitor and
@@ -99,7 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// both layers up through sim.DefaultMonitor / sim.DefaultLearn.
 	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRule, *perfetto)
 	if err != nil {
-		return fail(err)
+		fmt.Fprintln(stderr, "odrl-trace:", err)
+		return 1
 	}
 	defer mcli.Close(stderr)
 	if mcli != nil {
@@ -114,64 +114,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if lcli != nil {
 		sim.DefaultLearn = lcli.Layer
 	}
+	// The ledger records trace work like any other run (tool, args, wall
+	// time); the flight recorder arms through the default observer for any
+	// future sim-running mode.
+	ledcli := ledger.StartCLI("odrl-trace", args, ledger.ResolveDir(*ledgerDir), *noLedger)
+	prevObs, prevSpan := sim.DefaultObserver, sim.DefaultSpanSink
+	sim.DefaultObserver = ledcli.WrapObserver(ocli.Observer())
+	sim.DefaultSpanSink = ledcli.SpanSink()
+	defer func() { sim.DefaultObserver, sim.DefaultSpanSink = prevObs, prevSpan }()
 
-	switch {
-	case *list:
-		mid := 2.5e9
-		fmt.Fprintln(stdout, "benchmark      CPI@2.5GHz  mem-bound  phase-changes/s")
-		for _, name := range workload.PresetNames() {
-			c, err := workload.Characterize(workload.MustPreset(name), *seed, 2.0, mid)
-			if err != nil {
-				return fail(err)
+	runErr := func() error {
+		switch {
+		case *list:
+			mid := 2.5e9
+			fmt.Fprintln(stdout, "benchmark      CPI@2.5GHz  mem-bound  phase-changes/s")
+			for _, name := range workload.PresetNames() {
+				c, err := workload.Characterize(workload.MustPreset(name), *seed, 2.0, mid)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(stdout, "%-14s %-11.3f %-10.3f %.1f\n", name, c.MeanCPI, c.MemBoundedness, c.PhaseRatePerS)
 			}
-			fmt.Fprintf(stdout, "%-14s %-11.3f %-10.3f %.1f\n", name, c.MeanCPI, c.MemBoundedness, c.PhaseRatePerS)
-		}
 
-	case *record:
-		obs.LogEvent(stderr, "record-config",
-			"benchmark", *benchmark, "seed", *seed, "dur_s", *dur)
-		spec, err := workload.Preset(*benchmark)
-		if err != nil {
-			return fail(err)
-		}
-		tr, err := workload.Record(spec, *seed, *dur)
-		if err != nil {
-			return fail(err)
-		}
-		w := stdout
-		if *out != "" {
-			f, err := os.Create(*out)
+		case *record:
+			obs.LogEvent(stderr, "record-config",
+				"benchmark", *benchmark, "seed", *seed, "dur_s", *dur)
+			spec, err := workload.Preset(*benchmark)
 			if err != nil {
-				return fail(err)
+				return err
+			}
+			tr, err := workload.Record(spec, *seed, *dur)
+			if err != nil {
+				return err
+			}
+			w := stdout
+			if *out != "" {
+				f, err := os.Create(*out)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := tr.WriteJSON(w); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "recorded %d entries over %.2f s\n", len(tr.Entries), tr.TotalDurS())
+
+		case *inspect != "":
+			f, err := os.Open(*inspect)
+			if err != nil {
+				return err
 			}
 			defer f.Close()
-			w = f
+			tr, err := workload.ReadJSON(f)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "trace %q: %d phases, %d entries, %.2f s total\n",
+				tr.Name, len(tr.Phases), len(tr.Entries), tr.TotalDurS())
+			residency := make([]float64, len(tr.Phases))
+			for _, e := range tr.Entries {
+				residency[e.PhaseIdx] += e.DurS
+			}
+			for i, ph := range tr.Phases {
+				fmt.Fprintf(stdout, "  phase %d (%s): CPI %.2f, MPKI %.1f, activity %.2f — %.1f%% of time\n",
+					i, ph.Class, ph.BaseCPI, ph.MPKI, ph.Activity, 100*residency[i]/tr.TotalDurS())
+			}
 		}
-		if err := tr.WriteJSON(w); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stderr, "recorded %d entries over %.2f s\n", len(tr.Entries), tr.TotalDurS())
-
-	case *inspect != "":
-		f, err := os.Open(*inspect)
-		if err != nil {
-			return fail(err)
-		}
-		defer f.Close()
-		tr, err := workload.ReadJSON(f)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stdout, "trace %q: %d phases, %d entries, %.2f s total\n",
-			tr.Name, len(tr.Phases), len(tr.Entries), tr.TotalDurS())
-		residency := make([]float64, len(tr.Phases))
-		for _, e := range tr.Entries {
-			residency[e.PhaseIdx] += e.DurS
-		}
-		for i, ph := range tr.Phases {
-			fmt.Fprintf(stdout, "  phase %d (%s): CPI %.2f, MPKI %.1f, activity %.2f — %.1f%% of time\n",
-				i, ph.Class, ph.BaseCPI, ph.MPKI, ph.Activity, 100*residency[i]/tr.TotalDurS())
-		}
+		return nil
+	}()
+	ledcli.Finish(runErr)
+	if runErr != nil {
+		fmt.Fprintln(stderr, "odrl-trace:", runErr)
+		return 1
 	}
 	return 0
 }

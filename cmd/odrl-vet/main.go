@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/obs/ledger"
 )
 
 func main() {
@@ -35,12 +36,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("odrl-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sel      = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		asJSON   = fs.Bool("json", false, "emit diagnostics and allows as JSON")
-		allows   = fs.Bool("allows", false, "list //odrl:allow suppressions (the audit ledger) instead of diagnostics")
-		list     = fs.Bool("list", false, "list available analyzers and exit")
-		dir      = fs.String("dir", ".", "module directory to analyze (go list runs here)")
-		maxDiags = fs.Int("max", 0, "print at most this many diagnostics (0 = no limit; exit code still reflects the full count)")
+		sel       = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		asJSON    = fs.Bool("json", false, "emit diagnostics and allows as JSON")
+		allows    = fs.Bool("allows", false, "list //odrl:allow suppressions (the audit ledger) instead of diagnostics")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+		dir       = fs.String("dir", ".", "module directory to analyze (go list runs here)")
+		maxDiags  = fs.Int("max", 0, "print at most this many diagnostics (0 = no limit; exit code still reflects the full count)")
+		ledgerDir = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record")
+		noLedger  = fs.Bool("no-ledger", false, "disable the run ledger")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,22 +79,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
+	// A vet pass is a run worth remembering: the record's status tells CI
+	// archaeology whether this tree was clean at this commit.
+	lcli := ledger.StartCLI("odrl-vet", args, ledger.ResolveDir(*ledgerDir), *noLedger)
+
 	loader := analysis.NewLoader(*dir)
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
+		lcli.Finish(fmt.Errorf("load: %v", err))
 		fmt.Fprintf(stderr, "odrl-vet: load: %v\n", err)
 		return 1
 	}
 	result, err := analysis.Vet(pkgs, analyzers)
 	if err != nil {
+		lcli.Finish(err)
 		fmt.Fprintf(stderr, "odrl-vet: %v\n", err)
 		return 1
 	}
 
+	var code int
 	if *allows {
-		return reportAllows(result, *asJSON, stdout, stderr)
+		code = reportAllows(result, *asJSON, stdout, stderr)
+	} else {
+		code = reportDiags(result, *asJSON, *maxDiags, stdout, stderr)
 	}
-	return reportDiags(result, *asJSON, *maxDiags, stdout, stderr)
+	if code != 0 {
+		lcli.Finish(fmt.Errorf("%d unsuppressed diagnostic(s)", len(result.Diagnostics)))
+	} else {
+		lcli.Finish(nil)
+	}
+	return code
 }
 
 func reportDiags(result analysis.Result, asJSON bool, maxDiags int, stdout, stderr io.Writer) int {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/learn"
+	"repro/internal/obs/ledger"
 	"repro/internal/obs/monitor"
 	"repro/internal/plot"
 	"repro/internal/scenario"
@@ -27,42 +29,54 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam. Exit code 2 means the
+// invocation was malformed (nothing was simulated), 1 means a run failed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("odrl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		controllers = flag.String("controllers", "od-rl,maxbips,steepest-drop,pid,greedy,static", "comma-separated controller names, or 'all'")
-		cores       = flag.Int("cores", 64, "number of cores")
-		workloadF   = flag.String("workload", "mix", "workload preset name or 'mix'")
-		budget      = flag.Float64("budget", 90, "chip power budget (W)")
-		warmup      = flag.Float64("warmup", 2, "warmup seconds (learning continues, metrics off)")
-		measure     = flag.Float64("measure", 8, "measurement seconds")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		noise       = flag.Float64("noise", 0.02, "relative sensor noise")
-		thermalOff  = flag.Bool("thermal-off", false, "disable the leakage-temperature loop")
-		csvOut      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		traceFile   = flag.String("trace", "", "write the first controller's power trace CSV to this file")
-		configFile  = flag.String("config", "", "run a config.Experiment JSON file instead of flags")
-		writeConfig = flag.Bool("write-config", false, "print the default experiment JSON and exit")
-		writeSpec   = flag.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
-		plotTrace   = flag.Bool("plot", false, "render each controller's power trace as an ASCII chart")
-		faultSpec   = flag.String("fault-plan", "", "inject faults: an intensity in [0,1] for the canonical plan, or a plan JSON file path (see internal/fault)")
-		traceEvents = flag.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
-		traceEvery  = flag.Int("trace-every", 1, "sample every Nth epoch in -trace-events output")
-		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
-		monitorOn   = flag.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
-		alertRules  = flag.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
-		perfetto    = flag.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
-		learnOn     = flag.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
-		snapEvery   = flag.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
-		artifacts   = flag.String("artifacts", "", "record the run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		controllers = fs.String("controllers", "od-rl,maxbips,steepest-drop,pid,greedy,static", "comma-separated controller names, or 'all'")
+		cores       = fs.Int("cores", 64, "number of cores")
+		workloadF   = fs.String("workload", "mix", "workload preset name or 'mix'")
+		budget      = fs.Float64("budget", 90, "chip power budget (W)")
+		warmup      = fs.Float64("warmup", 2, "warmup seconds (learning continues, metrics off)")
+		measure     = fs.Float64("measure", 8, "measurement seconds")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		noise       = fs.Float64("noise", 0.02, "relative sensor noise")
+		thermalOff  = fs.Bool("thermal-off", false, "disable the leakage-temperature loop")
+		csvOut      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		traceFile   = fs.String("trace", "", "write the first controller's power trace CSV to this file")
+		configFile  = fs.String("config", "", "run a config.Experiment JSON file instead of flags")
+		writeConfig = fs.Bool("write-config", false, "print the default experiment JSON and exit")
+		writeSpec   = fs.Bool("write-spec", false, "print the canonical scenario spec equivalent to this invocation (runnable with odrl-run) and exit")
+		plotTrace   = fs.Bool("plot", false, "render each controller's power trace as an ASCII chart")
+		faultSpec   = fs.String("fault-plan", "", "inject faults: an intensity in [0,1] for the canonical plan, or a plan JSON file path (see internal/fault)")
+		traceEvents = fs.String("trace-events", "", "write structured JSONL epoch events to this file ('-' for stdout)")
+		traceEvery  = fs.Int("trace-every", 1, "sample every Nth epoch in -trace-events output")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/obs and /debug/pprof on this address (e.g. localhost:6060)")
+		monitorOn   = fs.Bool("monitor", false, "enable the run-health monitor: time series, quantile sketches, claim-invariant alerts, summary on exit")
+		alertRules  = fs.String("alert-rules", "", "alert rules JSON file (implies -monitor; default rules derive from each run's budget)")
+		perfetto    = fs.String("perfetto", "", "write controller phase spans as Perfetto trace-event JSON to this file on exit (implies -monitor)")
+		learnOn     = fs.Bool("learn", false, "enable learning introspection: per-agent TD-error/epsilon/churn telemetry, convergence detection, summary on exit")
+		snapEvery   = fs.Int("snapshot-every", 0, "write a content-addressed policy snapshot every N control epochs (0 = only at run end; requires -artifacts)")
+		artifacts   = fs.String("artifacts", "", "record the run into this directory: full JSONL trace plus policy snapshots, the layout odrl-inspect reads (implies -learn)")
+		ledgerDir   = fs.String("ledger", "", "run-ledger directory (default $ODRL_LEDGER or "+ledger.DefaultDir+"): append a queryable run record and arm the flight recorder")
+		noLedger    = fs.Bool("no-ledger", false, "disable the run ledger and flight recorder")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// -write-spec translates the flag invocation into the declarative
 	// scenario contract and exits before any observability side effects.
 	if *writeSpec {
 		plan, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "odrl:", err)
+			return 2
 		}
 		names := strings.Split(*controllers, ",")
 		if *controllers == "all" {
@@ -81,154 +95,168 @@ func main() {
 			FaultPlan:   plan,
 		}
 		if err := spec.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "odrl:", err)
+			return 2
 		}
 		canon, err := spec.Canonical()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "odrl:", err)
+			return 2
 		}
-		os.Stdout.Write(canon)
-		return
+		stdout.Write(canon)
+		return 0
+	}
+	if *writeConfig {
+		if err := config.DefaultExperiment().Save(stdout); err != nil {
+			fmt.Fprintln(stderr, "odrl:", err)
+			return 1
+		}
+		return 0
 	}
 
 	tracePath, traceStride, err := learn.ResolveTrace(*traceEvents, *traceEvery, *artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "odrl:", err)
+		return 2
 	}
 	ocli, err := obs.StartCLI(tracePath, traceStride, *debugAddr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "odrl:", err)
+		return 1
 	}
 	defer ocli.Close()
-	// Observe runs built anywhere below (flag path and -config path alike).
-	sim.DefaultObserver = ocli.Observer()
 	mcli, err := monitor.StartCLI(ocli, *monitorOn, *alertRules, *perfetto)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "odrl:", err)
+		return 1
 	}
 	defer mcli.Close(os.Stderr)
 	if mcli != nil {
 		sim.DefaultMonitor = mcli.Monitor
 	}
-	lcli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
+	lrncli, err := learn.StartCLI(ocli, *learnOn, *snapEvery, *artifacts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "odrl:", err)
+		return 2
 	}
-	defer lcli.Close(os.Stderr)
-	if lcli != nil {
-		sim.DefaultLearn = lcli.Layer
+	defer lrncli.Close(os.Stderr)
+	if lrncli != nil {
+		sim.DefaultLearn = lrncli.Layer
 	}
+	// The run ledger wraps the flight recorder around the tracer chain:
+	// monitor -> flight -> tracer, with phase spans teed into the
+	// recorder's post-mortem ring. Observe runs built anywhere below (flag
+	// path and -config path alike).
+	lcli := ledger.StartCLI("odrl", args, ledger.ResolveDir(*ledgerDir), *noLedger)
+	prevObs, prevSpan := sim.DefaultObserver, sim.DefaultSpanSink
+	sim.DefaultObserver = lcli.WrapObserver(ocli.Observer())
+	sim.DefaultSpanSink = lcli.SpanSink()
+	defer func() { sim.DefaultObserver, sim.DefaultSpanSink = prevObs, prevSpan }()
 
-	// logRunConfig makes a run reproducible from stderr alone.
-	logRunConfig := func(opts sim.Options) {
-		w, h, _ := sim.GridFor(opts.Cores)
-		warmupE, measureE := opts.Epochs()
-		obs.LogEvent(os.Stderr, "run-config",
-			"seed", opts.Seed,
-			"cores", opts.Cores,
-			"grid_w", w,
-			"grid_h", h,
-			"workload", opts.Workload,
-			"budget_w", opts.BudgetW,
-			"epoch_s", opts.EpochS,
-			"warmup_epochs", warmupE,
-			"measure_epochs", measureE,
-		)
+	runErr := runMain(fs, stdout, stderr, ocli, mainFlags{
+		controllers: *controllers, cores: *cores, workload: *workloadF,
+		budget: *budget, warmup: *warmup, measure: *measure, seed: *seed,
+		noise: *noise, thermalOff: *thermalOff, csvOut: *csvOut,
+		traceFile: *traceFile, configFile: *configFile, plotTrace: *plotTrace,
+		faultSpec: *faultSpec,
+	})
+	lcli.Finish(runErr)
+	if runErr != nil {
+		fmt.Fprintln(stderr, "odrl:", runErr)
+		return 1
 	}
+	return 0
+}
 
-	if *writeConfig {
-		if err := config.DefaultExperiment().Save(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *configFile != "" {
-		f, err := os.Open(*configFile)
+// mainFlags carries the simulation flags into the run body.
+type mainFlags struct {
+	controllers, workload, traceFile, configFile, faultSpec string
+	cores                                                   int
+	budget, warmup, measure, noise                          float64
+	seed                                                    uint64
+	thermalOff, csvOut, plotTrace                           bool
+}
+
+func runMain(fs *flag.FlagSet, stdout, stderr io.Writer, ocli *obs.CLI, f mainFlags) error {
+	if f.configFile != "" {
+		cf, err := os.Open(f.configFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+			return err
 		}
-		exp, err := config.Load(f)
-		f.Close()
+		exp, err := config.Load(cf)
+		cf.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+			return err
 		}
 		results, err := sim.RunExperiment(exp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+			return err
 		}
-		if err := sim.WriteSummaryTable(os.Stdout, results); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+		if err := sim.WriteSummaryTable(stdout, results); err != nil {
+			return err
 		}
-		if err := sim.WritePhaseTable(os.Stdout, results); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
-		}
-		return
+		return sim.WritePhaseTable(stdout, results)
 	}
 
 	opts := sim.DefaultOptions()
-	opts.Cores = *cores
-	opts.Workload = *workloadF
-	opts.BudgetW = *budget
-	opts.WarmupS = *warmup
-	opts.MeasureS = *measure
-	opts.Seed = *seed
-	opts.SensorNoise = *noise
-	opts.ThermalOff = *thermalOff
-	plan, err := fault.ParseSpec(*faultSpec)
+	opts.Cores = f.cores
+	opts.Workload = f.workload
+	opts.BudgetW = f.budget
+	opts.WarmupS = f.warmup
+	opts.MeasureS = f.measure
+	opts.Seed = f.seed
+	opts.SensorNoise = f.noise
+	opts.ThermalOff = f.thermalOff
+	plan, err := fault.ParseSpec(f.faultSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(1)
+		return err
 	}
 	opts.FaultPlan = plan
-	if *traceFile != "" || *plotTrace {
+	if f.traceFile != "" || f.plotTrace {
 		opts.TracePoints = 500
 	}
 
-	names := strings.Split(*controllers, ",")
-	if *controllers == "all" {
+	names := strings.Split(f.controllers, ",")
+	if f.controllers == "all" {
 		names = sim.ControllerNames()
 	}
 
-	logRunConfig(opts)
+	// logRunConfig makes a run reproducible from stderr alone.
+	w, h, _ := sim.GridFor(opts.Cores)
+	warmupE, measureE := opts.Epochs()
+	obs.LogEvent(stderr, "run-config",
+		"seed", opts.Seed,
+		"cores", opts.Cores,
+		"grid_w", w,
+		"grid_h", h,
+		"workload", opts.Workload,
+		"budget_w", opts.BudgetW,
+		"epoch_s", opts.EpochS,
+		"warmup_epochs", warmupE,
+		"measure_epochs", measureE,
+	)
 	results, err := sim.RunAll(opts, names)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(1)
+		return err
 	}
 
-	if *csvOut {
-		err = sim.WriteCSV(os.Stdout, results)
+	if f.csvOut {
+		if err := sim.WriteCSV(stdout, results); err != nil {
+			return err
+		}
 	} else {
-		err = sim.WriteSummaryTable(os.Stdout, results)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "odrl:", err)
-		os.Exit(1)
-	}
-	if !*csvOut {
-		if err := sim.WritePhaseTable(os.Stdout, results); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+		if err := sim.WriteSummaryTable(stdout, results); err != nil {
+			return err
 		}
-		if err := ocli.WriteDecideQuantiles(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+		if err := sim.WritePhaseTable(stdout, results); err != nil {
+			return err
+		}
+		if err := ocli.WriteDecideQuantiles(stdout); err != nil {
+			return err
 		}
 	}
 
-	if *plotTrace {
+	if f.plotTrace {
 		for _, res := range results {
 			if len(res.Trace) == 0 {
 				continue
@@ -241,30 +269,28 @@ func main() {
 				ys[i] = p.PowerW
 				bs[i] = p.BudgetW
 			}
-			fmt.Println()
-			err := plot.Render(os.Stdout,
+			fmt.Fprintln(stdout)
+			err := plot.Render(stdout,
 				fmt.Sprintf("%s: chip power (W) vs time (s)", res.Summary.Controller),
 				72, 14,
 				plot.Series{Label: "power", X: xs, Y: ys},
 				plot.Series{Label: "budget", X: xs, Y: bs},
 			)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "odrl:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 
-	if *traceFile != "" && len(results) > 0 {
-		f, err := os.Create(*traceFile)
+	if f.traceFile != "" && len(results) > 0 {
+		tf, err := os.Create(f.traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
-		if err := sim.WriteTrace(f, results[0].Summary.Controller, results[0].Trace); err != nil {
-			fmt.Fprintln(os.Stderr, "odrl:", err)
-			os.Exit(1)
+		defer tf.Close()
+		if err := sim.WriteTrace(tf, results[0].Summary.Controller, results[0].Trace); err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -119,6 +119,26 @@ func OnDeterministicPath(pkgPath string) bool {
 	return deterministicPathPkgs[root]
 }
 
+// wallClockAuditedPkgs extends the wall-clock audit beyond the
+// deterministic path: these packages legitimately read the host clock
+// (ledger run stamps, flight-recorder bundles) but every such read must
+// still carry an //odrl:allow wallclock <reason> annotation so the full
+// list stays auditable via `odrl-vet -allows`. They are NOT on the
+// deterministic path — their timestamps are telemetry about the host,
+// never inputs to simulation.
+var wallClockAuditedPkgs = map[string]bool{
+	"repro/internal/obs/ledger": true,
+	"repro/internal/obs/flight": true,
+}
+
+// OnWallClockAuditedPath reports whether the wallclock analyzer audits the
+// package: the deterministic path (where wall-clock reads are a
+// determinism hazard) plus the run-ledger and flight-recorder packages
+// (where they are telemetry that must be annotated, not banned).
+func OnWallClockAuditedPath(pkgPath string) bool {
+	return OnDeterministicPath(pkgPath) || wallClockAuditedPkgs[pkgPath]
+}
+
 // hotpathMarker annotates a function whose steady-state body must not
 // allocate; see the hotpathalloc analyzer.
 const hotpathMarker = "//odrl:hotpath"

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// TestOnWallClockAuditedPath pins the audited set: the deterministic path
+// plus the run-ledger and flight-recorder packages, and nothing else.
+func TestOnWallClockAuditedPath(t *testing.T) {
+	cases := []struct {
+		path    string
+		audited bool
+	}{
+		{"repro/internal/sim", true},          // deterministic path
+		{"repro/internal/obs/ledger", true},   // telemetry, annotation-audited
+		{"repro/internal/obs/flight", true},   // telemetry, annotation-audited
+		{"repro/internal/obs", false},         // tracer glue reads the clock freely
+		{"repro/internal/obs/monitor", false}, // span probes are obs-side
+		{"repro/internal/plot", false},
+		{"repro/cmd/odrl-obs", false},
+	}
+	for _, tc := range cases {
+		if got := OnWallClockAuditedPath(tc.path); got != tc.audited {
+			t.Errorf("OnWallClockAuditedPath(%q) = %v, want %v", tc.path, got, tc.audited)
+		}
+	}
+	if OnDeterministicPath("repro/internal/obs/ledger") {
+		t.Error("obs/ledger must stay OFF the deterministic path: its timestamps are telemetry, and the other determinism analyzers do not apply")
+	}
+	if OnDeterministicPath("repro/internal/obs/flight") {
+		t.Error("obs/flight must stay OFF the deterministic path")
+	}
+}
+
+// TestWallClockAuditsLedgerPackage loads the wallclock fixture under the
+// ledger's import path: unannotated clock reads there must be flagged just
+// like on the deterministic path.
+func TestWallClockAuditsLedgerPackage(t *testing.T) {
+	res := vetFixture(t, "testdata/wallclock", "repro/internal/obs/ledger", []*Analyzer{WallClock})
+	checkWants(t, "testdata/wallclock/src.go", res)
+}

@@ -21,7 +21,7 @@ var WallClock = &Analyzer{
 }
 
 func runWallClock(pass *Pass) error {
-	if !OnDeterministicPath(pass.Pkg.Path()) {
+	if !OnWallClockAuditedPath(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

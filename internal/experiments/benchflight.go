@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/obs/flight"
+	"repro/internal/sim"
+)
+
+// BenchFlightCase is one timed recorder-off-vs-on comparison over an
+// identical simulation (same seed, controller and epoch count; the flight
+// recorder is read-only toward the run, so the delta is pure recording
+// overhead).
+type BenchFlightCase struct {
+	// Name identifies the workload being timed.
+	Name string `json:"name"`
+	// Epochs is the total epoch count each leg executes.
+	Epochs int `json:"epochs"`
+	// OffS and OnS are the best (minimum) wall-clock seconds per leg without
+	// and with the always-on flight recorder (epoch ring, decide sketch,
+	// span timeline armed).
+	OffS float64 `json:"off_s"`
+	OnS  float64 `json:"on_s"`
+	// OverheadFrac is the median per-rep on/off ratio minus one — each rep
+	// times an adjacent off/on pair so host drift cancels, and the ratio is
+	// taken over process CPU time where the platform measures it (Linux),
+	// wall clock otherwise. The recorder's budget is <3%, the same ceiling
+	// the monitor holds, because "always-on" is only defensible at a cost
+	// nobody can measure in their results.
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
+// BenchFlightReport is the machine-readable output of
+// `odrl-bench -bench-flight` (written as BENCH_flight.json): the cost of
+// leaving the flight recorder armed on every run on this host.
+type BenchFlightReport struct {
+	HostInfo
+	Cases []BenchFlightCase `json:"cases"`
+}
+
+// benchFlightCase times one options set with the recorder off and on.
+func benchFlightCase(name, controller string, opts sim.Options, reps int) (BenchFlightCase, error) {
+	// Only sim.Run sits inside the timed region; environment, controller
+	// and recorder construction all happen (and allocate) outside it.
+	run := func(rec *flight.Recorder) (wallS, cpuS float64, err error) {
+		o := opts
+		if rec != nil {
+			o.Observer = rec.Wrap(nil)
+			o.SpanSink = rec.Timeline()
+		}
+		env, err := sim.EnvFor(o)
+		if err != nil {
+			return 0, 0, err
+		}
+		c, err := sim.NewController(controller, env)
+		if err != nil {
+			return 0, 0, err
+		}
+		runtime.GC()
+		return timeRunBoth(func() error {
+			_, err := sim.Run(o, c)
+			return err
+		})
+	}
+	// Warm once so first-use allocation and page faults don't bias the
+	// off leg.
+	if _, _, err := run(nil); err != nil {
+		return BenchFlightCase{}, err
+	}
+	// Same pairing discipline as the monitor bench: adjacent off/on reps so
+	// slow host drift hits both legs alike, median ratio so the odd
+	// preempted rep is discarded instead of averaged in.
+	offS, onS := math.Inf(1), math.Inf(1)
+	ratios := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		off, offCPU, err := run(nil)
+		if err != nil {
+			return BenchFlightCase{}, err
+		}
+		offS = math.Min(offS, off)
+		on, onCPU, err := run(flight.New(flight.Options{}))
+		if err != nil {
+			return BenchFlightCase{}, err
+		}
+		onS = math.Min(onS, on)
+		switch {
+		case offCPU > 0 && onCPU > 0:
+			ratios = append(ratios, onCPU/offCPU)
+		case off > 0:
+			ratios = append(ratios, on/off)
+		}
+	}
+	warmup, measure := opts.Epochs()
+	c := BenchFlightCase{Name: name, Epochs: warmup + measure, OffS: offS, OnS: onS}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		c.OverheadFrac = ratios[len(ratios)/2] - 1
+	}
+	return c, nil
+}
+
+// benchFlightSpec names one timed case: a controller and how many simulated
+// seconds its measured leg runs.
+type benchFlightSpec struct {
+	name, controller string
+	measureS         float64
+}
+
+// BenchFlight measures the flight recorder's epoch-loop overhead: the same
+// runs with the recorder off and armed, across a cheap controller (where
+// per-epoch harness overhead dominates, the worst case for the recorder)
+// and the full OD-RL controller.
+func BenchFlight() (BenchFlightReport, error) {
+	// Same sizing rationale as BenchMonitor: each timed leg must be a large
+	// fraction of a wall-clock second or a 3% delta drowns in scheduler
+	// noise, and greedy's nearly-free Decide makes the recorder's per-epoch
+	// ring store the largest relative slice it will ever be.
+	return benchFlight(15, []benchFlightSpec{
+		{"epoch-loop-greedy-64c", "greedy", 40},
+		{"epoch-loop-odrl-64c", "od-rl", 25},
+	})
+}
+
+// benchFlight runs the given cases with the given rep count; the smoke test
+// passes a cheap spec so the schema check stays fast under the race
+// detector, while the CLI gate keeps the full protocol.
+func benchFlight(reps int, specs []benchFlightSpec) (BenchFlightReport, error) {
+	rep := BenchFlightReport{HostInfo: hostInfo()}
+	base := sim.DefaultOptions()
+	base.Workers = 1
+	base.WarmupS = 0.5
+
+	for _, tc := range specs {
+		opts := base
+		opts.MeasureS = tc.measureS
+		c, err := benchFlightCase(tc.name, tc.controller, opts, reps)
+		if err != nil {
+			return rep, fmt.Errorf("bench-flight %s: %w", tc.name, err)
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BenchFlightReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "repro/internal/obs"
+
+// cpuSeconds delegates to the shared obs helper so bench gates and ledger
+// run records measure CPU time identically (see obs.CPUSeconds for why
+// CPU-time ratios beat wall-clock for overhead medians).
+func cpuSeconds() float64 { return obs.CPUSeconds() }

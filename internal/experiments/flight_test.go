@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBenchFlightReport smoke-checks the flight-recorder overhead report:
+// both legs of every case measured, valid JSON out. It runs a cheap spec (2
+// reps, short legs) so the check stays fast under the race detector; the
+// <3% assertion and the full 15-rep protocol live in the bench-flight make
+// target, not here — wall-clock thresholds are too flaky for CI unit tests.
+func TestBenchFlightReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	rep, err := benchFlight(2, []benchFlightSpec{
+		{"epoch-loop-greedy-64c", "greedy", 2},
+		{"epoch-loop-odrl-64c", "od-rl", 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 2 {
+		t.Fatalf("got %d cases", len(rep.Cases))
+	}
+	for _, c := range rep.Cases {
+		if c.OffS <= 0 || c.OnS <= 0 || c.Epochs <= 0 {
+			t.Fatalf("unmeasured case %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("overhead_frac")) {
+		t.Fatalf("report JSON missing fields:\n%s", buf.String())
+	}
+}

@@ -1,35 +1,11 @@
 package experiments
 
-import "runtime"
+import "repro/internal/obs"
 
-// HostInfo stamps the machine a benchmark report was produced on. Every
-// BENCH_*.json emitter embeds it, so a checked-in report is never read
-// without the context that bounds it: wall-clock numbers are only
-// comparable across reports sharing the same stamp.
-type HostInfo struct {
-	// HostCPUs is runtime.NumCPU(); parallel speedup is bounded by it.
-	HostCPUs   int `json:"host_cpus"`
-	GOMAXPROCS int `json:"gomaxprocs"`
-	// GoVersion, OS and Arch identify the toolchain and platform the
-	// timings were taken under.
-	GoVersion string `json:"go_version"`
-	OS        string `json:"os"`
-	Arch      string `json:"arch"`
-	// Note is a human-readable caveat about this host, e.g. that a
-	// single-CPU machine caps every parallel speedup at ~1x.
-	Note string `json:"note,omitempty"`
-}
+// HostInfo is the shared host stamp every BENCH_*.json emitter embeds; it
+// is the obs.Host type under its historical name, so report JSON is
+// unchanged and the ledger's run records carry the identical stamp (one
+// helper, no per-CLI copies).
+type HostInfo = obs.Host
 
-func hostInfo() HostInfo {
-	h := HostInfo{
-		HostCPUs:   runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		OS:         runtime.GOOS,
-		Arch:       runtime.GOARCH,
-	}
-	if h.HostCPUs == 1 {
-		h.Note = "single-CPU host: parallel speedups are ~1x by construction; overhead medians remain valid (paired off/on reps, CPU-time ratios)"
-	}
-	return h
-}
+func hostInfo() HostInfo { return obs.HostInfo() }

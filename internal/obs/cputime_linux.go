@@ -1,0 +1,22 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUSeconds returns the process's cumulative user+system CPU time. On a
+// shared or single-CPU host, wall clock moves with scheduler preemption,
+// steal time and frequency drift by more than the few-percent overheads
+// the bench gates measure; CPU time counts only work actually executed, so
+// paired off/on ratios over it are far more stable. The run ledger stamps
+// both, for the same reason.
+func CPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return (time.Duration(ru.Utime.Nano()) + time.Duration(ru.Stime.Nano())).Seconds()
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// CPUSeconds is unavailable off Linux; callers fall back to wall-clock
+// ratios (noisier, same contract).
+func CPUSeconds() float64 { return 0 }

@@ -1,0 +1,295 @@
+package flight
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// stubRun records what a downstream observer saw.
+type stubRun struct {
+	stride  int
+	epochs  []int
+	details []int
+	alerts  int
+	faults  int
+	ended   bool
+}
+
+func (s *stubRun) ShouldSample(epoch int) bool { return epoch%s.stride == 0 }
+func (s *stubRun) ObserveEpoch(ev *obs.EpochEvent) {
+	s.epochs = append(s.epochs, ev.Epoch)
+	if ev.IslandPowerW != nil {
+		s.details = append(s.details, ev.Epoch)
+	}
+}
+func (s *stubRun) ObserveAlert(*obs.AlertEvent) { s.alerts++ }
+func (s *stubRun) ObserveFault(*obs.FaultEvent) { s.faults++ }
+func (s *stubRun) End()                         { s.ended = true }
+
+type stubObserver struct{ run *stubRun }
+
+func (s stubObserver) BeginRun(obs.RunMeta) obs.RunObserver { return s.run }
+
+func feedEpochs(ro obs.RunObserver, n int) {
+	ds, _ := ro.(obs.EpochDetailSampler)
+	for e := 0; e < n; e++ {
+		if !ro.ShouldSample(e) {
+			continue
+		}
+		ev := obs.EpochEvent{
+			Epoch:      e,
+			TimeS:      float64(e) * 0.001,
+			PowerW:     90 + float64(e%10),
+			BudgetW:    95,
+			OvershootW: float64(e%10) - 5, // positive on e%10 in 6..9
+			MaxTempK:   330 + float64(e%7),
+			DecideNs:   int64(1000 + e),
+			IPS:        50e9,
+		}
+		if ev.OvershootW < 0 {
+			ev.OvershootW = 0
+		}
+		if ds == nil || ds.WantsEpochDetail(e) {
+			ev.IslandPowerW = []float64{ev.PowerW}
+		}
+		ro.ObserveEpoch(&ev)
+	}
+}
+
+func TestRingKeepsLatestWindow(t *testing.T) {
+	rec := New(Options{RingCap: 64})
+	ro := rec.BeginRun(obs.RunMeta{Controller: "od-rl", EpochS: 0.001})
+	feedEpochs(ro, 300)
+
+	f := ro.(*flightRun)
+	f.mu.Lock()
+	frames := f.framesLocked()
+	epochs := f.epochs
+	f.mu.Unlock()
+	if epochs != 300 {
+		t.Fatalf("epochs observed: %d", epochs)
+	}
+	if len(frames) != 64 {
+		t.Fatalf("retained %d frames, want 64", len(frames))
+	}
+	for i, fr := range frames {
+		if want := 300 - 64 + i; fr.Epoch != want {
+			t.Fatalf("frame %d: epoch %d, want %d (ring should keep the latest window in order)", i, fr.Epoch, want)
+		}
+	}
+}
+
+func TestAlertTriggersDumpOnce(t *testing.T) {
+	type dumpRec struct {
+		seq     int
+		trigger string
+		files   []BundleFile
+	}
+	var dumps []dumpRec
+	rec := New(Options{RingCap: 64, OnDump: func(seq int, _ obs.RunMeta, trigger string, files []BundleFile) {
+		dumps = append(dumps, dumpRec{seq, trigger, files})
+	}})
+	rec.Timeline().RecordSpan("local", 1000, 500)
+	rec.Timeline().RecordSpan("global", 1600, 300)
+
+	ro := rec.BeginRun(obs.RunMeta{Controller: "od-rl", BudgetW: 95, EpochS: 0.001})
+	feedEpochs(ro, 200)
+	alert := &obs.AlertEvent{Epoch: 199, Rule: "power-overshoot", Metric: "overshoot_w", Op: ">", Threshold: 0, Value: 4}
+	ro.(obs.AlertObserver).ObserveAlert(alert)
+	ro.(obs.AlertObserver).ObserveAlert(alert) // second alert must not re-dump
+	ro.End()
+
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.trigger != "alert" {
+		t.Fatalf("trigger %q", d.trigger)
+	}
+	byName := map[string][]byte{}
+	for _, f := range d.files {
+		if !strings.HasPrefix(f.Name, "flight/alert/") {
+			t.Fatalf("bundle file %q lacks trigger prefix", f.Name)
+		}
+		byName[strings.TrimPrefix(f.Name, "flight/alert/")] = f.Data
+	}
+
+	events, err := ReadEpochsJSONL(byName["epochs.jsonl"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 64 {
+		t.Fatalf("bundle holds %d epochs, want >= 64", len(events))
+	}
+	if last := events[len(events)-1].Epoch; last != 199 {
+		t.Fatalf("last retained epoch %d, want 199", last)
+	}
+
+	n, err := ValidateTraceJSON(byName["spans.json"])
+	if err != nil {
+		t.Fatalf("spans.json not loadable Perfetto: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("spans.json has no trace events")
+	}
+
+	ctxData := byName["context.json"]
+	for _, want := range []string{`"trigger": "alert"`, `"power-overshoot"`, `"decide_p99_ns"`} {
+		if !strings.Contains(string(ctxData), want) {
+			t.Fatalf("context.json missing %s:\n%s", want, ctxData)
+		}
+	}
+}
+
+func TestDumpAllSigquitOncePerTrigger(t *testing.T) {
+	var mu sync.Mutex
+	triggers := map[string]int{}
+	rec := New(Options{OnDump: func(_ int, _ obs.RunMeta, trigger string, _ []BundleFile) {
+		mu.Lock()
+		triggers[trigger]++
+		mu.Unlock()
+	}})
+	ro := rec.BeginRun(obs.RunMeta{Controller: "greedy", EpochS: 0.001})
+	feedEpochs(ro, 100)
+	ro.End()
+
+	rec.DumpAll("sigquit")
+	rec.DumpAll("sigquit") // idempotent per trigger
+	rec.DumpAll("failed")  // distinct trigger dumps again
+	if triggers["sigquit"] != 1 || triggers["failed"] != 1 {
+		t.Fatalf("dump counts: %v", triggers)
+	}
+}
+
+func TestChainForwardsOnDownstreamStride(t *testing.T) {
+	next := &stubRun{stride: 4}
+	rec := New(Options{})
+	ro := rec.Wrap(stubObserver{run: next}).BeginRun(obs.RunMeta{EpochS: 0.001})
+	feedEpochs(ro, 100)
+	alert := &obs.AlertEvent{Epoch: 50, Rule: "r"}
+	ro.(obs.AlertObserver).ObserveAlert(alert)
+	ro.(obs.FaultObserver).ObserveFault(&obs.FaultEvent{Epoch: 51})
+	ro.End()
+
+	if len(next.epochs) != 25 {
+		t.Fatalf("downstream saw %d epochs, want 25 (its own stride)", len(next.epochs))
+	}
+	for _, e := range next.epochs {
+		if e%4 != 0 {
+			t.Fatalf("downstream saw off-stride epoch %d", e)
+		}
+	}
+	// Detail (island slices) must be built only on the downstream stride:
+	// feedEpochs consults WantsEpochDetail like the harness does.
+	if len(next.details) != len(next.epochs) {
+		t.Fatalf("downstream missing detail on its own epochs: %d of %d", len(next.details), len(next.epochs))
+	}
+	f := ro.(*flightRun)
+	f.mu.Lock()
+	recorded := f.epochs
+	f.mu.Unlock()
+	if recorded != 100 {
+		t.Fatalf("recorder saw %d epochs, want every one", recorded)
+	}
+	if next.alerts != 1 || next.faults != 1 || !next.ended {
+		t.Fatalf("events not forwarded: %+v", next)
+	}
+}
+
+func TestSummaryMetrics(t *testing.T) {
+	var got Summary
+	rec := New(Options{OnRunEnd: func(_ int, s Summary) { got = s }})
+	ro := rec.BeginRun(obs.RunMeta{Controller: "od-rl", Workload: "mixed", EpochS: 0.001})
+	feedEpochs(ro, 100)
+	ro.End()
+
+	if got.Epochs != 100 {
+		t.Fatalf("summary epochs %d", got.Epochs)
+	}
+	m := got.Metrics
+	if m["bips"] != 50 {
+		t.Fatalf("bips %g, want 50", m["bips"])
+	}
+	// feedEpochs overshoots on e%10 in 6..9 with 1..4 W for 1 ms epochs:
+	// 10 cycles x (1+2+3+4) W x 0.001 s = 0.1 J, 40% of epochs over.
+	if diff := m["over_j"] - 0.1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("over_j %g, want 0.1", m["over_j"])
+	}
+	if m["over_time_frac"] != 0.4 {
+		t.Fatalf("over_time_frac %g, want 0.4", m["over_time_frac"])
+	}
+	if m["peak_w"] != 99 || m["max_temp_k"] != 336 {
+		t.Fatalf("peak_w %g max_temp_k %g", m["peak_w"], m["max_temp_k"])
+	}
+	if m["decide_p50_ns"] <= 0 || m["decide_p99_ns"] < m["decide_p50_ns"] {
+		t.Fatalf("decide quantiles: p50 %g p99 %g", m["decide_p50_ns"], m["decide_p99_ns"])
+	}
+}
+
+// TestDumpAllRacesEpochLoop is the -race guard for the SIGQUIT path: a
+// dump from another goroutine must interleave safely with a run that is
+// still observing epochs.
+func TestDumpAllRacesEpochLoop(t *testing.T) {
+	var mu sync.Mutex
+	dumps := 0
+	rec := New(Options{RingCap: 64, OnDump: func(_ int, _ obs.RunMeta, _ string, files []BundleFile) {
+		mu.Lock()
+		dumps++
+		mu.Unlock()
+		for _, f := range files {
+			if f.Name == "flight/race/epochs.jsonl" {
+				if _, err := ReadEpochsJSONL(f.Data); err != nil {
+					t.Errorf("torn bundle: %v", err)
+				}
+			}
+		}
+	}})
+	ro := rec.BeginRun(obs.RunMeta{EpochS: 0.001})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		feedEpochs(ro, 5000)
+		ro.End()
+	}()
+	rec.DumpAll("race")
+	wg.Wait()
+	rec.DumpAll("late")
+	mu.Lock()
+	defer mu.Unlock()
+	if dumps == 0 {
+		t.Fatal("no dumps")
+	}
+}
+
+func TestKeepRunsEvictsOnlyFinished(t *testing.T) {
+	rec := New(Options{KeepRuns: 2})
+	live := rec.BeginRun(obs.RunMeta{Controller: "live"})
+	feedEpochs(live, 10)
+	for i := 0; i < 5; i++ {
+		ro := rec.BeginRun(obs.RunMeta{Controller: "done"})
+		feedEpochs(ro, 10)
+		ro.End()
+	}
+	rec.mu.Lock()
+	var controllers []string
+	for _, f := range rec.runs {
+		controllers = append(controllers, f.meta.Controller)
+	}
+	rec.mu.Unlock()
+	if len(controllers) > 3 {
+		t.Fatalf("retained %d runs with KeepRuns=2 (+1 live): %v", len(controllers), controllers)
+	}
+	found := false
+	for _, c := range controllers {
+		if c == "live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live run evicted: %v", controllers)
+	}
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "runtime"
+
+// Host stamps the machine an artifact (benchmark report, ledger run
+// record) was produced on. Every BENCH_*.json emitter and every ledger
+// record embeds it, so a checked-in report or a queried run is never read
+// without the context that bounds it: wall-clock numbers are only
+// comparable across records sharing the same stamp.
+type Host struct {
+	// HostCPUs is runtime.NumCPU(); parallel speedup is bounded by it.
+	HostCPUs   int `json:"host_cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GoVersion, OS and Arch identify the toolchain and platform the
+	// timings were taken under.
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Note is a human-readable caveat about this host, e.g. that a
+	// single-CPU machine caps every parallel speedup at ~1x.
+	Note string `json:"note,omitempty"`
+}
+
+// HostInfo snapshots the current host. It is the one shared stamp helper:
+// per-CLI copies drift (and then two reports disagree about what
+// "this host" means), so every emitter calls this instead.
+func HostInfo() Host {
+	h := Host{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+	if h.HostCPUs == 1 {
+		h.Note = "single-CPU host: parallel speedups are ~1x by construction; overhead medians remain valid (paired off/on reps, CPU-time ratios)"
+	}
+	return h
+}

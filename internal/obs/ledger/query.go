@@ -1,0 +1,191 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Filter selects records; zero fields match everything. String fields
+// match exactly except SpecHash, which matches any record whose scenario
+// list contains a hash with the given prefix (so operators can paste the
+// short form odrl-run prints).
+type Filter struct {
+	Tool       string
+	SpecHash   string
+	Experiment string
+	Status     string
+}
+
+// Match reports whether the record passes the filter.
+func (f Filter) Match(r Record) bool {
+	if f.Tool != "" && r.Tool != f.Tool {
+		return false
+	}
+	if f.Status != "" && r.Status != f.Status {
+		return false
+	}
+	if f.SpecHash != "" && !hasSpecHash(r, f.SpecHash) {
+		return false
+	}
+	if f.Experiment != "" && !hasExperiment(r, f.Experiment) {
+		return false
+	}
+	return true
+}
+
+func hasSpecHash(r Record, prefix string) bool {
+	for _, s := range r.Scenarios {
+		if strings.HasPrefix(s.SpecHash, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasExperiment(r Record, exp string) bool {
+	for _, s := range r.Scenarios {
+		if s.Experiment == exp {
+			return true
+		}
+	}
+	return false
+}
+
+// Read loads and verifies every record in the ledger, in append order.
+// Lines that fail to decode or whose content hash does not match are
+// returned as errors alongside the good records, so one corrupt line
+// never hides the rest of the history.
+func Read(dir string) ([]Record, []error) {
+	f, err := os.Open(filepath.Join(dir, FileName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, []error{fmt.Errorf("ledger: opening %s: %w", dir, err)}
+	}
+	defer f.Close()
+
+	var recs []Record
+	var errs []error
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		r, err := DecodeRecord(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			continue
+		}
+		if err := r.VerifyHash(); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("ledger: scanning %s: %w", dir, err))
+	}
+	return recs, errs
+}
+
+// Select returns the records matching the filter, in append order.
+func Select(recs []Record, f Filter) []Record {
+	var out []Record
+	for _, r := range recs {
+		if f.Match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latest returns the last appended record matching the filter, or false.
+func Latest(recs []Record, f Filter) (Record, bool) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if f.Match(recs[i]) {
+			return recs[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// ByID finds a record by full ID or unique prefix. An ambiguous prefix is
+// an error: guessing between runs would silently compare the wrong pair.
+func ByID(recs []Record, id string) (Record, error) {
+	var found []Record
+	for _, r := range recs {
+		if r.ID == id {
+			return r, nil
+		}
+		if strings.HasPrefix(r.ID, id) {
+			found = append(found, r)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Record{}, fmt.Errorf("ledger: no record with id %q", id)
+	case 1:
+		return found[0], nil
+	default:
+		ids := make([]string, len(found))
+		for i, r := range found {
+			ids[i] = r.ID
+		}
+		sort.Strings(ids)
+		return Record{}, fmt.Errorf("ledger: id prefix %q is ambiguous: %s", id, strings.Join(ids, ", "))
+	}
+}
+
+// baselineFileName stores the pinned regression baseline inside the
+// ledger directory.
+const baselineFileName = "baseline.json"
+
+// Baseline pins one record as the regression reference for odrl-obs
+// -check. PinnedAt is informational.
+type Baseline struct {
+	ID       string `json:"id"`
+	PinnedAt string `json:"pinned_at,omitempty"`
+}
+
+// WriteBaseline pins a record ID as the ledger's regression baseline.
+func WriteBaseline(dir string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ledger: encoding baseline: %w", err)
+	}
+	path := filepath.Join(dir, baselineFileName)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("ledger: writing baseline: %w", err)
+	}
+	return nil
+}
+
+// ReadBaseline loads the pinned baseline; ok is false when none is set.
+func ReadBaseline(dir string) (Baseline, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, baselineFileName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Baseline{}, false, nil
+		}
+		return Baseline{}, false, fmt.Errorf("ledger: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, false, fmt.Errorf("ledger: decoding baseline: %w", err)
+	}
+	if b.ID == "" {
+		return Baseline{}, false, fmt.Errorf("ledger: baseline file has no id")
+	}
+	return b, true, nil
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package ledger
+
+// notifySigquit is a no-op off Unix (no SIGQUIT to catch).
+func notifySigquit(*CLI) {}

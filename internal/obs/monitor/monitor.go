@@ -318,8 +318,18 @@ func (r *monitorRun) ShouldSample(epoch int) bool {
 
 // WantsEpochDetail implements obs.EpochDetailSampler: the monitor itself
 // only reads scalar fields, so island/histogram aggregation is needed just
-// on the downstream observer's own sampled epochs.
-func (r *monitorRun) WantsEpochDetail(epoch int) bool { return r.nextWants }
+// on the downstream observer's own sampled epochs — and when the
+// downstream is itself a detail sampler (the flight recorder samples every
+// epoch but only keeps scalars), its refinement propagates up the chain.
+func (r *monitorRun) WantsEpochDetail(epoch int) bool {
+	if !r.nextWants {
+		return false
+	}
+	if ds, ok := r.next.(obs.EpochDetailSampler); ok {
+		return ds.WantsEpochDetail(epoch)
+	}
+	return true
+}
 
 // ObserveEpoch implements obs.RunObserver. Allocation-free on the steady
 // path: series, sketches and the metric frame are all preallocated.

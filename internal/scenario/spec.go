@@ -30,11 +30,12 @@ import (
 	"repro/internal/workload"
 )
 
-// engineVersion stamps every canonical-spec hash. Bump it whenever engine
+// EngineVersion stamps every canonical-spec hash. Bump it whenever engine
 // semantics change in a way that invalidates cached tables (new columns,
 // different run assembly, changed defaults): old cache entries then miss
-// instead of replaying stale results.
-const engineVersion = "odrl-scenario-v1"
+// instead of replaying stale results. The run ledger records it alongside
+// each spec hash, so old run records state which engine produced them.
+const EngineVersion = "odrl-scenario-v1"
 
 // BudgetStep re-caps the chip mid-run (mirrors sim.BudgetStep).
 type BudgetStep struct {
@@ -322,7 +323,7 @@ func (s Spec) Hash() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	io.WriteString(h, engineVersion)
+	io.WriteString(h, EngineVersion)
 	h.Write([]byte{0})
 	h.Write(canon)
 	return hex.EncodeToString(h.Sum(nil)), nil

@@ -24,6 +24,13 @@ var DefaultMonitor *monitor.Monitor
 // once at process startup by CLIs.
 var DefaultLearn *learn.Layer
 
+// DefaultSpanSink, when non-nil, additionally receives controller phase
+// spans from every run whose Options.SpanSink is nil — teed with the
+// monitor's timeline, so the flight recorder's post-mortem bundles carry
+// the same spans the live Perfetto export shows. Set once at process
+// startup by CLIs, like DefaultObserver.
+var DefaultSpanSink obs.SpanSink
+
 // eventScratch holds the reusable per-sample aggregation buffers for one
 // run's epoch events, so sampling allocates nothing after the first epoch.
 type eventScratch struct {

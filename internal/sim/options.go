@@ -90,6 +90,11 @@ type Options struct {
 	// read-only — results are bit-identical with it on or off. Falls back
 	// to DefaultLearn when nil; controllers without learning stream nothing.
 	Learn *learn.Layer
+	// SpanSink, when set, additionally receives the controller's phase
+	// spans (teed with the monitor's timeline when both are present) —
+	// the flight recorder's post-mortem ring attaches here. Falls back to
+	// DefaultSpanSink when nil.
+	SpanSink obs.SpanSink
 	// Workers bounds the goroutines sharding the per-core simulation and
 	// control loops (the `-j` knob): 0 uses one worker per CPU, 1 forces
 	// fully sequential execution. Results are bit-identical for any

@@ -218,13 +218,24 @@ func Run(opts Options, c ctrl.Controller) (Result, error) {
 	if mon == nil {
 		mon = DefaultMonitor
 	}
+	extraSink := opts.SpanSink
+	if extraSink == nil {
+		extraSink = DefaultSpanSink
+	}
+	var spanSink obs.SpanSink
 	if mon != nil {
 		// The monitor wraps the chain so it sees every epoch while a
 		// chained tracer keeps its own stride; it also collects the
 		// controller's phase spans for the Perfetto timeline.
 		observer = mon.Wrap(observer)
+		spanSink = mon.Timeline()
+	}
+	// An extra sink (the flight recorder's post-mortem ring) tees with the
+	// monitor's timeline: one controller sink slot, both consumers.
+	spanSink = obs.TeeSpans(spanSink, extraSink)
+	if spanSink != nil {
 		if ss, ok := c.(ctrl.SpanStreamer); ok {
-			ss.SetSpanSink(mon.Timeline())
+			ss.SetSpanSink(spanSink)
 			defer ss.SetSpanSink(nil)
 		}
 	}
